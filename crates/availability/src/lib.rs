@@ -1,0 +1,17 @@
+//! # jrs-availability — availability analytics for redundant head nodes
+//!
+//! The paper's Section 5 availability analysis (Equations 1–3, Figure 12)
+//! as a library, plus a Monte Carlo failure/repair simulator that
+//! validates the analytic results and extends them with the correlated
+//! (rack/room) failures the paper flags as future work.
+
+#![warn(missing_docs)]
+
+pub mod analytic;
+pub mod montecarlo;
+
+pub use analytic::{
+    active_standby_availability, downtime_hours_per_year, figure12, format_downtime, nines,
+    parallel_availability, AvailabilityRow, NodeReliability, HOURS_PER_YEAR,
+};
+pub use montecarlo::{run as monte_carlo, McConfig, McResult};

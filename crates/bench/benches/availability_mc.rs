@@ -1,0 +1,25 @@
+//! Criterion bench: Monte Carlo availability simulation throughput
+//! (simulated years per second).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jrs_availability::{monte_carlo, McConfig};
+use std::hint::black_box;
+
+fn bench_mc(c: &mut Criterion) {
+    let mut g = c.benchmark_group("availability_mc_50y");
+    g.sample_size(10);
+    for nodes in [1u32, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| {
+                let mut cfg = McConfig::paper(n);
+                cfg.span_hours = 50.0 * 8760.0;
+                cfg.trials = 2;
+                black_box(monte_carlo(&cfg).availability)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_mc);
+criterion_main!(benches);

@@ -1,0 +1,28 @@
+//! Criterion bench: wall-clock cost of simulating the paper's Figure 10
+//! experiment end-to-end — how fast the reproduction itself runs (events
+//! per simulated submission across cluster sizes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use joshua_core::cluster::{Cluster, ClusterConfig, HaMode};
+use joshua_core::workload;
+use jrs_sim::{SimDuration, SimTime};
+use std::hint::black_box;
+
+fn bench_e2e(c: &mut Criterion) {
+    let mut g = c.benchmark_group("e2e_submission_burst10");
+    g.sample_size(10);
+    for heads in [1usize, 2, 4] {
+        g.bench_with_input(BenchmarkId::from_parameter(heads), &heads, |b, &h| {
+            b.iter(|| {
+                let mut cl = Cluster::build(ClusterConfig::new(HaMode::Joshua { heads: h }));
+                cl.spawn_client(workload::burst(10));
+                cl.run_until(SimTime::ZERO + SimDuration::from_secs(120));
+                black_box(cl.take_records().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_e2e);
+criterion_main!(benches);

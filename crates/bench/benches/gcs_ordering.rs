@@ -1,0 +1,52 @@
+//! Criterion bench: raw cost of the group communication layer — ordering
+//! a message through groups of 1–4 members (in-memory pump, no network
+//! latency: measures the Rust implementation, not the simulated testbed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use jrs_gcs::config::{EngineKind, GroupConfig};
+use jrs_gcs::testkit::Pump;
+use jrs_sim::ProcId;
+use std::hint::black_box;
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut g = c.benchmark_group("gcs_broadcast_roundtrip");
+    g.sample_size(20);
+    for members in [1u32, 2, 4] {
+        for engine in [EngineKind::Sequencer, EngineKind::Token] {
+            let label = format!("{engine:?}x{members}");
+            g.bench_with_input(BenchmarkId::from_parameter(label), &members, |b, &n| {
+                b.iter_batched(
+                    || Pump::<u32>::group(n, GroupConfig::with_engine(engine)),
+                    |mut pump| {
+                        for i in 0..50u32 {
+                            pump.broadcast(ProcId(i % n), i);
+                        }
+                        black_box(pump.delivered.len())
+                    },
+                    criterion::BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    g.finish();
+}
+
+fn bench_view_change(c: &mut Criterion) {
+    c.bench_function("gcs_view_change_on_crash", |b| {
+        b.iter_batched(
+            || Pump::<u32>::group(4, GroupConfig::default()),
+            |mut pump| {
+                pump.crash(ProcId(0));
+                pump.tick_for(
+                    jrs_sim::SimDuration::from_millis(5),
+                    jrs_sim::SimDuration::from_millis(1000),
+                );
+                black_box(pump.view_of(ProcId(1)).len())
+            },
+            criterion::BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group!(benches, bench_ordering, bench_view_change);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E5 — ordering-engine ablation: submission latency under the fixed
+//! sequencer (ISIS-style, JOSHUA default) vs. the rotating token
+//! (Totem-style, closer to what Totem/Spread-era systems did), across
+//! head-node counts.
+//!
+//! The paper names Spread and Ensemble as candidate Transis replacements;
+//! this ablation quantifies what the ordering mechanism costs.
+
+use joshua_core::cluster::HaMode;
+use jrs_bench::experiments::latency_experiment_with_engine;
+use jrs_bench::report;
+use jrs_gcs::EngineKind;
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(50);
+    let seed = 2006u64;
+
+    println!("E5 — ordering engine ablation ({jobs} submissions, seed {seed})");
+    println!();
+
+    let mut rows = Vec::new();
+    for heads in 1..=4usize {
+        let seq = latency_experiment_with_engine(
+            HaMode::Joshua { heads },
+            jobs,
+            seed,
+            EngineKind::Sequencer,
+        );
+        let tok = latency_experiment_with_engine(
+            HaMode::Joshua { heads },
+            jobs,
+            seed,
+            EngineKind::Token,
+        );
+        rows.push(vec![
+            heads.to_string(),
+            format!("{:.0}ms", seq.mean_ms),
+            format!("{:.0}ms", seq.p99_ms),
+            format!("{:.0}ms", tok.mean_ms),
+            format!("{:.0}ms", tok.p99_ms),
+            format!("{:+.0}%", (tok.mean_ms / seq.mean_ms - 1.0) * 100.0),
+        ]);
+    }
+    report::table(
+        &["Heads", "Sequencer", "seq p99", "Token", "tok p99", "Token vs Seq"],
+        &rows,
+    );
+}

@@ -1,0 +1,61 @@
+//! E1 — Figure 10: job submission latency, single vs. multiple head
+//! nodes. Reproduces the paper's table:
+//!
+//! ```text
+//! System          #   Latency   Overhead
+//! TORQUE          1   98ms
+//! JOSHUA/TORQUE   1   134ms     36ms / 37%
+//! JOSHUA/TORQUE   2   265ms     158ms / 161%
+//! JOSHUA/TORQUE   3   304ms     206ms / 210%
+//! JOSHUA/TORQUE   4   349ms     251ms / 256%
+//! ```
+
+use joshua_core::cluster::HaMode;
+use jrs_bench::{latency_experiment, report};
+
+fn main() {
+    let jobs: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(100);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2006);
+
+    println!("E1 / Figure 10 — job submission latency ({jobs} submissions, seed {seed})");
+    println!();
+
+    let paper_ms = [98.0, 134.0, 265.0, 304.0, 349.0];
+    let modes = [
+        HaMode::SingleHead,
+        HaMode::Joshua { heads: 1 },
+        HaMode::Joshua { heads: 2 },
+        HaMode::Joshua { heads: 3 },
+        HaMode::Joshua { heads: 4 },
+    ];
+
+    let mut rows = Vec::new();
+    let mut base_ms = None;
+    for (mode, paper) in modes.iter().zip(paper_ms) {
+        let r = latency_experiment(*mode, jobs, seed);
+        let base = *base_ms.get_or_insert(r.mean_ms);
+        let overhead = if r.heads > 0 && r.label != "TORQUE" {
+            report::overhead(base, r.mean_ms)
+        } else {
+            String::new()
+        };
+        rows.push(vec![
+            r.label.clone(),
+            r.heads.to_string(),
+            format!("{:.0}ms", r.mean_ms),
+            overhead,
+            format!("{paper:.0}ms"),
+            format!("{:.0}ms", r.p99_ms),
+        ]);
+    }
+    report::table(
+        &["System", "#", "Latency", "Overhead", "Paper", "p99"],
+        &rows,
+    );
+}

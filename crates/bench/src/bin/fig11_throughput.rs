@@ -1,0 +1,59 @@
+//! E2 — Figure 11: job submission throughput, single vs. multiple head
+//! nodes. Reproduces the paper's table:
+//!
+//! ```text
+//! System          #   10 Jobs   50 Jobs   100 Jobs
+//! TORQUE          1   0.93s     4.95s     10.18s
+//! JOSHUA/TORQUE   1   1.32s     6.48s     14.08s
+//! JOSHUA/TORQUE   2   2.68s     13.09s    26.37s
+//! JOSHUA/TORQUE   3   2.93s     15.91s    30.03s
+//! JOSHUA/TORQUE   4   3.62s     17.65s    33.32s
+//! ```
+
+use joshua_core::cluster::HaMode;
+use jrs_bench::{report, throughput_experiment};
+
+fn main() {
+    let seed: u64 = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(2006);
+    let batches = [10usize, 50, 100];
+    let paper: [(&str, [f64; 3]); 5] = [
+        ("TORQUE", [0.93, 4.95, 10.18]),
+        ("JOSHUA x1", [1.32, 6.48, 14.08]),
+        ("JOSHUA x2", [2.68, 13.09, 26.37]),
+        ("JOSHUA x3", [2.93, 15.91, 30.03]),
+        ("JOSHUA x4", [3.62, 17.65, 33.32]),
+    ];
+    let modes = [
+        HaMode::SingleHead,
+        HaMode::Joshua { heads: 1 },
+        HaMode::Joshua { heads: 2 },
+        HaMode::Joshua { heads: 3 },
+        HaMode::Joshua { heads: 4 },
+    ];
+
+    println!("E2 / Figure 11 — job submission throughput (batches of 10/50/100, seed {seed})");
+    println!();
+
+    let mut rows = Vec::new();
+    for (mode, (_, paper_vals)) in modes.iter().zip(paper) {
+        let r = throughput_experiment(*mode, &batches, seed);
+        let mut row = vec![r.label.clone(), r.heads.to_string()];
+        for ((_, measured), paper_v) in r.totals_s.iter().zip(paper_vals) {
+            row.push(format!("{measured:.2}s ({paper_v:.2}s)"));
+        }
+        rows.push(row);
+    }
+    report::table(
+        &[
+            "System",
+            "#",
+            "10 Jobs (paper)",
+            "50 Jobs (paper)",
+            "100 Jobs (paper)",
+        ],
+        &rows,
+    );
+}

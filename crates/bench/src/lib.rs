@@ -1,0 +1,12 @@
+//! # jrs-bench — experiment harness for the JOSHUA reproduction
+//!
+//! One runner per paper artifact (tables/figures) plus ablations; the
+//! binaries in `src/bin/` print paper-style tables and the Criterion
+//! benches in `benches/` measure the real implementation.
+
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod report;
+
+pub use experiments::{latency_experiment, throughput_experiment, LatencyRow, ThroughputRow};

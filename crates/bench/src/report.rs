@@ -1,0 +1,32 @@
+//! Tiny fixed-width table printer for paper-style output.
+
+/// Print a table: header row + data rows, columns padded to content.
+pub fn table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: Vec<String>| {
+        let mut s = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<width$}  ", c, width = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(headers.iter().map(|h| h.to_string()).collect());
+    line(widths.iter().map(|w| "-".repeat(*w)).collect());
+    for row in rows {
+        line(row.clone());
+    }
+}
+
+/// Format a ratio as the paper does ("+36ms / 37%").
+pub fn overhead(base_ms: f64, value_ms: f64) -> String {
+    let diff = value_ms - base_ms;
+    let pct = diff / base_ms * 100.0;
+    format!("{diff:+.0}ms / {pct:+.0}%")
+}

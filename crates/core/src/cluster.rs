@@ -1,0 +1,385 @@
+//! Cluster harness: assembles head nodes, compute nodes and measuring
+//! clients into a simulated Beowulf cluster under any of the four HA
+//! architectures the paper discusses (Figures 1–4), and provides the
+//! fault-injection and inspection hooks the experiments use.
+
+use crate::config::{JoshuaConfig, JoshuaCostModel, PolicyKind};
+use crate::ha::{ActiveStandbyConfig, ActiveStandbyHead};
+use crate::server::JoshuaServer;
+use jrs_gcs::GroupConfig;
+use jrs_pbs::proc::{PbsClientProcess, PbsHeadProcess, PbsMomProcess};
+use jrs_pbs::server::PbsServerCore;
+use jrs_pbs::{ClientDone, PbsMomCore, ServerCmd, SubmitRecord};
+use jrs_sim::{NetworkConfig, NodeId, ProcId, SimDuration, SimTime, World};
+
+/// Which high-availability architecture to build.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum HaMode {
+    /// Figure 1: one head node, no redundancy (plain TORQUE baseline).
+    SingleHead,
+    /// Figure 2: primary + warm standby with periodic checkpoints.
+    ActiveStandby,
+    /// Figure 3: `heads` independent head nodes, each owning a partition
+    /// of the compute nodes, client-side round-robin.
+    Asymmetric {
+        /// Number of independent heads.
+        heads: usize,
+    },
+    /// Figure 4: JOSHUA symmetric active/active replication over `heads`
+    /// head nodes.
+    Joshua {
+        /// Number of replicated heads.
+        heads: usize,
+    },
+}
+
+impl HaMode {
+    /// Number of head nodes this mode deploys.
+    pub fn head_count(self) -> usize {
+        match self {
+            HaMode::SingleHead => 1,
+            HaMode::ActiveStandby => 2,
+            HaMode::Asymmetric { heads } | HaMode::Joshua { heads } => heads,
+        }
+    }
+
+    /// Short label for experiment tables.
+    pub fn label(self) -> String {
+        match self {
+            HaMode::SingleHead => "TORQUE".into(),
+            HaMode::ActiveStandby => "ACTIVE/STANDBY".into(),
+            HaMode::Asymmetric { heads } => format!("ASYM-A/A x{heads}"),
+            HaMode::Joshua { heads } => format!("JOSHUA/TORQUE x{heads}"),
+        }
+    }
+}
+
+/// Cluster construction parameters.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// HA architecture.
+    pub mode: HaMode,
+    /// Number of compute nodes (the paper used 2).
+    pub compute_nodes: usize,
+    /// Simulation seed.
+    pub seed: u64,
+    /// Network model (default: Fast-Ethernet hub, like the testbed).
+    pub net: NetworkConfig,
+    /// Head-node cost model.
+    pub cost: JoshuaCostModel,
+    /// Group communication tunables (JOSHUA mode).
+    pub group: GroupConfig,
+    /// Scheduling policy on every head.
+    pub policy: PolicyKind,
+    /// Active/standby tunables.
+    pub standby: ActiveStandbyConfig,
+    /// Reproduce the paper's TORQUE mom obituary bug.
+    pub mom_obituary_bug: bool,
+    /// Client failover timeout.
+    pub client_timeout: SimDuration,
+}
+
+impl ClusterConfig {
+    /// Defaults matching the paper's testbed (2 compute nodes, hub LAN).
+    pub fn new(mode: HaMode) -> Self {
+        ClusterConfig {
+            mode,
+            compute_nodes: 2,
+            seed: 42,
+            net: NetworkConfig::default(),
+            cost: JoshuaCostModel::default(),
+            group: GroupConfig::default(),
+            policy: PolicyKind::FifoExclusive,
+            standby: ActiveStandbyConfig::default(),
+            mom_obituary_bug: false,
+            client_timeout: SimDuration::from_millis(1500),
+        }
+    }
+}
+
+/// A built cluster.
+pub struct Cluster {
+    /// The simulation world.
+    pub world: World,
+    /// Configuration used.
+    pub cfg: ClusterConfig,
+    /// Head nodes (sim node ids), same order as `heads`.
+    pub head_nodes: Vec<NodeId>,
+    /// Head processes.
+    pub heads: Vec<ProcId>,
+    /// Compute nodes.
+    pub mom_nodes: Vec<NodeId>,
+    /// Mom processes.
+    pub moms: Vec<ProcId>,
+    /// Clients spawned so far.
+    pub clients: Vec<ProcId>,
+    login_node: NodeId,
+}
+
+impl Cluster {
+    /// Build the cluster (no clients yet).
+    pub fn build(cfg: ClusterConfig) -> Cluster {
+        let mut world = World::with_network(cfg.seed, cfg.net.clone());
+        let h = cfg.mode.head_count();
+        let c = cfg.compute_nodes;
+        assert!(h >= 1 && c >= 1);
+
+        // Topology: head nodes first, compute nodes, then a login node.
+        let head_nodes: Vec<NodeId> =
+            (0..h).map(|i| world.add_node(format!("head-{i}"))).collect();
+        let mom_nodes: Vec<NodeId> =
+            (0..c).map(|i| world.add_node(format!("c{i:02}"))).collect();
+        let login_node = world.add_node("login");
+
+        // Process ids are sequential: heads 0..h, moms h..h+c.
+        let head_ids: Vec<ProcId> = (0..h as u32).map(ProcId).collect();
+        let mom_ids: Vec<ProcId> = (0..c as u32).map(|i| ProcId(h as u32 + i)).collect();
+        let node_names: Vec<String> = (0..c).map(|i| format!("c{i:02}")).collect();
+        let all_nodes: Vec<(String, ProcId)> = node_names
+            .iter()
+            .cloned()
+            .zip(mom_ids.iter().copied())
+            .collect();
+
+        let mut heads = Vec::new();
+        match cfg.mode {
+            HaMode::SingleHead => {
+                let mut core = PbsServerCore::new(
+                    "head-0",
+                    node_names.iter().cloned(),
+                    cfg.policy.make(),
+                );
+                for (n, m) in &all_nodes {
+                    core.register_mom(n, *m);
+                }
+                let p = world.add_process(
+                    head_nodes[0],
+                    PbsHeadProcess::new(core, cfg.cost.pbs),
+                );
+                heads.push(p);
+            }
+            HaMode::ActiveStandby => {
+                #[allow(clippy::needless_range_loop)] // indexes three parallel arrays
+                for i in 0..2 {
+                    let mut core = PbsServerCore::new(
+                        format!("head-{i}"),
+                        node_names.iter().cloned(),
+                        cfg.policy.make(),
+                    );
+                    for (n, m) in &all_nodes {
+                        core.register_mom(n, *m);
+                    }
+                    let peer = head_ids[1 - i];
+                    let p = world.add_process(
+                        head_nodes[i],
+                        ActiveStandbyHead::new(
+                            core,
+                            cfg.standby,
+                            peer,
+                            i == 0,
+                            mom_ids.clone(),
+                        ),
+                    );
+                    heads.push(p);
+                }
+            }
+            HaMode::Asymmetric { heads: n } => {
+                // Each head owns a disjoint partition of the nodes.
+                #[allow(clippy::needless_range_loop)] // indexes parallel arrays
+                for i in 0..n {
+                    let my_nodes: Vec<(String, ProcId)> = all_nodes
+                        .iter()
+                        .enumerate()
+                        .filter(|(j, _)| j % n == i)
+                        .map(|(_, nm)| nm.clone())
+                        .collect();
+                    let mut core = PbsServerCore::new(
+                        format!("head-{i}"),
+                        my_nodes.iter().map(|(n, _)| n.clone()),
+                        cfg.policy.make(),
+                    );
+                    for (nm, m) in &my_nodes {
+                        core.register_mom(nm, *m);
+                    }
+                    let p = world.add_process(
+                        head_nodes[i],
+                        PbsHeadProcess::new(core, cfg.cost.pbs),
+                    );
+                    heads.push(p);
+                }
+            }
+            HaMode::Joshua { heads: n } => {
+                for i in 0..n {
+                    let jc = JoshuaConfig {
+                        nodes: all_nodes.clone(),
+                        policy: cfg.policy,
+                        group: cfg.group.clone(),
+                        cost: cfg.cost,
+                    };
+                    let p = world.add_process(
+                        head_nodes[i],
+                        JoshuaServer::new(head_ids[i], jc, head_ids.clone()),
+                    );
+                    heads.push(p);
+                }
+            }
+        }
+        assert_eq!(heads, head_ids, "head process ids must be predictable");
+
+        let mut moms = Vec::new();
+        for i in 0..c {
+            let mut core = PbsMomCore::new(node_names[i].clone());
+            core.obituary_bug = cfg.mom_obituary_bug;
+            let p = world.add_process(mom_nodes[i], PbsMomProcess::new(core));
+            moms.push(p);
+        }
+        assert_eq!(moms, mom_ids, "mom process ids must be predictable");
+
+        Cluster {
+            world,
+            cfg,
+            head_nodes,
+            heads,
+            mom_nodes,
+            moms,
+            clients: Vec::new(),
+            login_node,
+        }
+    }
+
+    /// Spawn a closed-loop measuring client on the login node with the
+    /// mode-appropriate target strategy. The script starts immediately.
+    pub fn spawn_client(&mut self, script: Vec<ServerCmd>) -> ProcId {
+        let targets = self.heads.clone();
+        let mut client =
+            PbsClientProcess::new(targets, script).with_timeout(self.cfg.client_timeout);
+        if matches!(self.cfg.mode, HaMode::Asymmetric { .. }) {
+            client = client.with_round_robin();
+        }
+        let login = self.login_node;
+        let p = self.world.add_process(login, client);
+        self.clients.push(p);
+        p
+    }
+
+    /// Run the world for a virtual duration.
+    pub fn run_for(&mut self, d: SimDuration) {
+        self.world.run_for(d);
+    }
+
+    /// Run until an absolute virtual time.
+    pub fn run_until(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Drain the measured per-command records.
+    pub fn take_records(&mut self) -> Vec<SubmitRecord> {
+        self.world
+            .take_emitted::<SubmitRecord>()
+            .into_iter()
+            .map(|(_, _, r)| r)
+            .collect()
+    }
+
+    /// Drain client completion events.
+    pub fn take_dones(&mut self) -> Vec<ClientDone> {
+        self.world
+            .take_emitted::<ClientDone>()
+            .into_iter()
+            .map(|(_, _, d)| d)
+            .collect()
+    }
+
+    /// Crash head `i` (power-off).
+    pub fn crash_head(&mut self, i: usize) {
+        self.world.crash_node(self.head_nodes[i]);
+    }
+
+    /// Ask JOSHUA head `i` to leave voluntarily.
+    pub fn leave_head(&mut self, i: usize) {
+        self.world.inject(self.heads[i], crate::server::LeaveCmd);
+    }
+
+    /// Add a replacement JOSHUA head that joins the running group via
+    /// state transfer. Returns its process id.
+    pub fn add_joshua_head(&mut self) -> ProcId {
+        let HaMode::Joshua { .. } = self.cfg.mode else {
+            panic!("replacement heads only exist in JOSHUA mode");
+        };
+        let node = self.world.add_node(format!("head-{}", self.head_nodes.len()));
+        let contacts = self.heads.clone();
+        let all_nodes: Vec<(String, ProcId)> = (0..self.cfg.compute_nodes)
+            .map(|i| (format!("c{i:02}"), self.moms[i]))
+            .collect();
+        let jc = JoshuaConfig {
+            nodes: all_nodes,
+            policy: self.cfg.policy,
+            group: self.cfg.group.clone(),
+            cost: self.cfg.cost,
+        };
+        // The new process id is not in `contacts`, so it starts as a
+        // joiner using them as contact points.
+        let me = ProcId(self.world_proc_count());
+        let p = self
+            .world
+            .add_process(node, JoshuaServer::new(me, jc, contacts));
+        assert_eq!(p, me);
+        self.head_nodes.push(node);
+        self.heads.push(p);
+        p
+    }
+
+    fn world_proc_count(&self) -> u32 {
+        // Heads + moms + clients + any previous replacements: the world
+        // assigns sequential ids, so the next is the total spawned so far.
+        (self.heads.len() + self.moms.len() + self.clients.len()) as u32
+    }
+
+    /// Borrow a JOSHUA head (panics in other modes).
+    pub fn joshua(&self, i: usize) -> &JoshuaServer {
+        self.world
+            .proc_ref::<JoshuaServer>(self.heads[i])
+            .expect("not a JOSHUA head (wrong mode or crashed before start)")
+    }
+
+    /// Borrow a mom core.
+    pub fn mom(&self, i: usize) -> &PbsMomCore {
+        self.world
+            .proc_ref::<PbsMomProcess>(self.moms[i])
+            .expect("mom process")
+            .core()
+    }
+
+    /// Total real job executions across all moms (exactly-once checks).
+    pub fn total_real_runs(&self) -> u64 {
+        (0..self.moms.len()).map(|i| self.mom(i).real_runs).sum()
+    }
+
+    /// Assert every *established* live JOSHUA head holds consistent
+    /// replicated PBS state; returns how many heads were compared.
+    pub fn assert_replicas_consistent(&self) -> usize {
+        let snapshots: Vec<(usize, jrs_pbs::server::ServerSnapshot)> = self
+            .heads
+            .iter()
+            .enumerate()
+            .filter(|(i, p)| {
+                self.world.is_proc_alive(**p)
+                    && self
+                        .world
+                        .proc_ref::<JoshuaServer>(self.heads[*i])
+                        .map(|j| j.is_established())
+                        .unwrap_or(false)
+            })
+            .map(|(i, _)| (i, self.joshua(i).pbs().snapshot()))
+            .collect();
+        for w in snapshots.windows(2) {
+            let (ia, a) = &w[0];
+            let (ib, b) = &w[1];
+            assert!(
+                a.consistent_with(b),
+                "replica divergence between head {ia} and head {ib}:\n{a:#?}\nvs\n{b:#?}"
+            );
+        }
+        snapshots.len()
+    }
+}

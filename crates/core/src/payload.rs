@@ -1,0 +1,260 @@
+//! The replicated command stream: everything JOSHUA pushes through the
+//! group communication system, and the jmutex (distributed launch mutual
+//! exclusion) state machine.
+
+use jrs_pbs::server::ServerSnapshot;
+use jrs_pbs::{CmdReply, JobId, ServerCmd};
+use jrs_sim::ProcId;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Everything ordered through the group. Every replica applies these in
+/// the same total order, which — the PBS server being deterministic — is
+/// exactly what keeps all head nodes in the same state.
+#[derive(Clone, Debug)]
+pub enum Payload {
+    /// An intercepted PBS user command (jsub/jdel/jstat/jhold/jrls).
+    Client {
+        /// Requesting client process.
+        client: ProcId,
+        /// Client-unique request id (duplicate suppression across client
+        /// retries / head failover).
+        req_id: u64,
+        /// The PBS command.
+        cmd: ServerCmd,
+    },
+    /// Agreed output release for a previously applied command: the current
+    /// responder sends the cached reply to the client. Ordering output
+    /// through the group is the paper's "distributed mutual exclusion to
+    /// ensure that output is delivered only once".
+    Output {
+        /// The client to answer.
+        client: ProcId,
+        /// Which request's cached reply to release.
+        req_id: u64,
+    },
+    /// A job-completion obituary lifted into the total order, so replicas
+    /// (and future joiners, via snapshot + replay) converge on job state.
+    MomFinished {
+        /// The finished job.
+        job: JobId,
+        /// Exit status.
+        exit: i32,
+        /// Reporting mom (diagnostic).
+        mom: ProcId,
+    },
+    /// jmutex acquire: a launch session on a mom asks for the job's launch
+    /// mutex through its head's JOSHUA daemon. The first acquire delivered
+    /// for a job wins.
+    JMutexAcquire {
+        /// The job.
+        job: JobId,
+        /// The requesting mom.
+        mom: ProcId,
+        /// The launch session on the mom.
+        session: u64,
+        /// The JOSHUA daemon that forwarded this request (it sends the
+        /// verdict back to the mom).
+        granter: ProcId,
+    },
+    /// jdone: release the launch mutex after completion.
+    JMutexRelease {
+        /// The job.
+        job: JobId,
+    },
+    /// State transfer to joining head nodes, ordered in-stream so the
+    /// joiner can replay subsequent commands exactly.
+    Snapshot {
+        /// The joiners this snapshot is for.
+        targets: Vec<ProcId>,
+        /// The donor had applied ordered messages up to this sequence
+        /// number when it created the state; targets replay only
+        /// payloads with larger sequence numbers.
+        as_of_seq: u64,
+        /// The full replica state.
+        state: Box<ReplicaState>,
+    },
+}
+
+impl Payload {
+    /// Approximate wire size for the network model.
+    pub fn wire_size(&self) -> u32 {
+        match self {
+            Payload::Client { .. } => 256,
+            Payload::Output { .. } => 64,
+            Payload::MomFinished { .. } => 96,
+            Payload::JMutexAcquire { .. } => 96,
+            Payload::JMutexRelease { .. } => 64,
+            Payload::Snapshot { state, .. } => {
+                512 + state.pbs.jobs.len() as u32 * 160
+            }
+        }
+    }
+}
+
+/// Complete replicated state of one JOSHUA head, shipped to joiners.
+#[derive(Clone, Debug)]
+pub struct ReplicaState {
+    /// PBS server state.
+    pub pbs: ServerSnapshot,
+    /// Launch mutex table.
+    pub jmutex: JMutexState,
+    /// Client duplicate-suppression floors and cached replies.
+    pub applied: Vec<(ProcId, u64, CmdReply)>,
+    /// Joiners still awaiting a snapshot (replicated bookkeeping so any
+    /// donor death leads to re-donation at the next view change).
+    pub needs_snapshot: Vec<ProcId>,
+}
+
+/// The jmutex table: which job launches have been granted and released.
+/// Lives in replicated state; decisions happen at delivery time, so all
+/// replicas agree on the single winner per job.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct JMutexState {
+    granted: BTreeMap<JobId, Grant>,
+    released: BTreeSet<JobId>,
+}
+
+/// A granted launch.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Grant {
+    /// The mom that holds the launch right.
+    pub mom: ProcId,
+    /// The winning session on that mom.
+    pub session: u64,
+    /// The daemon that forwarded the winning request.
+    pub granter: ProcId,
+}
+
+/// Outcome of an acquire delivery.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum JMutexOutcome {
+    /// This acquire won: its session really launches the job.
+    Granted,
+    /// Another session already holds (or held) the mutex: emulate.
+    Denied,
+}
+
+impl JMutexState {
+    /// Empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Process one delivered acquire. Deterministic: first delivered
+    /// acquire for a job wins; later ones (and any after release) lose.
+    pub fn acquire(&mut self, job: JobId, mom: ProcId, session: u64, granter: ProcId) -> JMutexOutcome {
+        if self.released.contains(&job) || self.granted.contains_key(&job) {
+            return JMutexOutcome::Denied;
+        }
+        self.granted.insert(job, Grant { mom, session, granter });
+        JMutexOutcome::Granted
+    }
+
+    /// Process a delivered release (jdone).
+    pub fn release(&mut self, job: JobId) {
+        self.granted.remove(&job);
+        self.released.insert(job);
+    }
+
+    /// Current grant holder, if any.
+    pub fn holder(&self, job: JobId) -> Option<Grant> {
+        self.granted.get(&job).copied()
+    }
+
+    /// Has the job's mutex been released (job completed)?
+    pub fn is_released(&self, job: JobId) -> bool {
+        self.released.contains(&job)
+    }
+
+    /// Number of currently granted (outstanding) launches.
+    pub fn outstanding(&self) -> usize {
+        self.granted.len()
+    }
+
+    /// Iterate over outstanding grants (for verdict redelivery after the
+    /// granter died).
+    pub fn grants(&self) -> impl Iterator<Item = (JobId, Grant)> + '_ {
+        self.granted.iter().map(|(j, g)| (*j, *g))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MOM: ProcId = ProcId(50);
+    const G1: ProcId = ProcId(1);
+    const G2: ProcId = ProcId(2);
+
+    #[test]
+    fn first_acquire_wins_rest_denied() {
+        let mut t = JMutexState::new();
+        assert_eq!(t.acquire(JobId(1), MOM, 10, G1), JMutexOutcome::Granted);
+        assert_eq!(t.acquire(JobId(1), MOM, 11, G2), JMutexOutcome::Denied);
+        assert_eq!(t.acquire(JobId(1), MOM, 12, G1), JMutexOutcome::Denied);
+        let g = t.holder(JobId(1)).unwrap();
+        assert_eq!(g.session, 10);
+        assert_eq!(g.granter, G1);
+        assert_eq!(t.outstanding(), 1);
+    }
+
+    #[test]
+    fn independent_jobs_do_not_interfere() {
+        let mut t = JMutexState::new();
+        assert_eq!(t.acquire(JobId(1), MOM, 1, G1), JMutexOutcome::Granted);
+        assert_eq!(t.acquire(JobId(2), MOM, 2, G2), JMutexOutcome::Granted);
+        assert_eq!(t.outstanding(), 2);
+    }
+
+    #[test]
+    fn release_prevents_regrant() {
+        let mut t = JMutexState::new();
+        let _ = t.acquire(JobId(1), MOM, 1, G1);
+        t.release(JobId(1));
+        assert!(t.is_released(JobId(1)));
+        assert_eq!(t.holder(JobId(1)), None);
+        // A straggler acquire after release must not launch again.
+        assert_eq!(t.acquire(JobId(1), MOM, 9, G2), JMutexOutcome::Denied);
+    }
+
+    #[test]
+    fn replicated_determinism() {
+        // Two replicas processing the same delivery order agree.
+        let ops = [
+            (JobId(1), 10u64, G1),
+            (JobId(2), 11, G2),
+            (JobId(1), 12, G2),
+            (JobId(2), 13, G1),
+        ];
+        let mut a = JMutexState::new();
+        let mut b = JMutexState::new();
+        for (job, session, granter) in ops {
+            let ra = a.acquire(job, MOM, session, granter);
+            let rb = b.acquire(job, MOM, session, granter);
+            assert_eq!(ra, rb);
+        }
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn payload_wire_sizes() {
+        let p = Payload::Output { client: ProcId(1), req_id: 1 };
+        assert!(p.wire_size() < 128);
+        let snap = Payload::Snapshot {
+            targets: vec![ProcId(9)],
+            as_of_seq: 0,
+            state: Box::new(ReplicaState {
+                pbs: ServerSnapshot {
+                    jobs: vec![],
+                    next_id: 1,
+                    pool: Default::default(),
+                    running_since: vec![],
+                },
+                jmutex: JMutexState::new(),
+                applied: vec![],
+                needs_snapshot: vec![],
+            }),
+        };
+        assert!(snap.wire_size() >= 512);
+    }
+}

@@ -1,0 +1,581 @@
+//! The JOSHUA head-node daemon: symmetric active/active replication of an
+//! unmodified PBS server via external interception of the PBS interface.
+//!
+//! Each head node runs one [`JoshuaServer`] process embedding
+//!
+//! * a [`GroupMember`] (the Transis stand-in) for totally ordered,
+//!   virtually synchronous delivery among the active heads, and
+//! * an unmodified [`PbsServerCore`] (the TORQUE stand-in) driven purely
+//!   through its public command interface.
+//!
+//! ## Data paths
+//!
+//! * **User commands** (jsub/jdel/jstat/...) arrive as
+//!   [`ClientRequest`]s, are broadcast through the group
+//!   ([`Payload::Client`]), applied by *every* replica on delivery, and
+//!   answered exactly once: the delivery of a second ordered message
+//!   ([`Payload::Output`]) releases the cached reply at the current
+//!   responder (the lowest-ranked established member) — the paper's
+//!   "output routed through the group communication system for
+//!   distributed mutual exclusion".
+//! * **Job starts** are dispatched by every replica to the mom, whose
+//!   launch prologue requests the **jmutex** through the dispatching
+//!   head ([`Payload::JMutexAcquire`]); the first acquire in the total
+//!   order wins, so the job runs exactly once and the other attempts are
+//!   emulated.
+//! * **Obituaries** from moms are lifted into the total order
+//!   ([`Payload::MomFinished`]) so replicas and joiners converge.
+//! * **Joins** (new or replacement heads, and ejected members rejoining)
+//!   receive a state snapshot ordered in-stream ([`Payload::Snapshot`])
+//!   and replay everything ordered after it — the paper's "copying the
+//!   current state of an active service over to the joining head node".
+
+use crate::config::JoshuaConfig;
+use crate::payload::{JMutexOutcome, JMutexState, Payload, ReplicaState};
+use jrs_gcs::{GcsEvent, GroupMember, Output as GcsOutput, View, Wire};
+use jrs_pbs::proc::{ArbiterRelease, ArbiterRequest, ClientReply, ClientRequest};
+use jrs_pbs::server::{MomReport, PbsServerCore, ServerAction};
+use jrs_pbs::{CmdReply, MomInbound, ServerCmd};
+use jrs_sim::{Ctx, Msg, ProcId, Process, SimDuration, TimerId};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Control message: gracefully leave the group and shut down (the paper's
+/// voluntary head-node leave, handled as a forced failure via signal).
+#[derive(Clone, Copy, Debug)]
+pub struct LeaveCmd;
+
+/// Counters exposed for experiments and tests.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct JoshuaStats {
+    /// Client commands this head broadcast into the group.
+    pub commands_forwarded: u64,
+    /// Ordered payloads applied.
+    pub payloads_applied: u64,
+    /// Replies this head released to clients.
+    pub replies_sent: u64,
+    /// jmutex grants decided here (as granter).
+    pub jmutex_granted: u64,
+    /// jmutex denials decided here (as granter).
+    pub jmutex_denied: u64,
+    /// Snapshots donated.
+    pub snapshots_sent: u64,
+    /// Snapshots received and installed.
+    pub snapshots_installed: u64,
+}
+
+/// The JOSHUA daemon. See module docs.
+pub struct JoshuaServer {
+    config: JoshuaConfig,
+    group: GroupMember<Payload>,
+    pbs: PbsServerCore,
+    jmutex: JMutexState,
+    /// Per-client duplicate-suppression floor and cached reply.
+    applied: BTreeMap<ProcId, (u64, CmdReply)>,
+    /// Joiners that still need a snapshot (replicated bookkeeping).
+    needs_snapshot: BTreeSet<ProcId>,
+    /// Members of the current view that joined with it (not yet
+    /// established; excluded from responder duty).
+    joined_current: BTreeSet<ProcId>,
+    /// `Some(buffer)` while we await our own snapshot.
+    awaiting: Option<Vec<(u64, Payload)>>,
+    /// Sequence number of the last ordered payload applied.
+    last_applied_seq: u64,
+    /// Payloads whose broadcast is delayed by a modelled CPU cost
+    /// (interception, PBS command processing); keyed by timer tag.
+    deferred: BTreeMap<u64, Payload>,
+    /// Witness obituaries: re-broadcast after a grace period unless the
+    /// job completed in the meantime.
+    witness: BTreeMap<u64, Payload>,
+    next_tag: u64,
+    stats: JoshuaStats,
+}
+
+impl JoshuaServer {
+    /// Create a daemon. `initial_heads` is the static bootstrap member
+    /// list (all initial heads configured identically); a process not in
+    /// the list joins through them instead.
+    pub fn new(me: ProcId, config: JoshuaConfig, initial_heads: Vec<ProcId>) -> Self {
+        let group = GroupMember::new(me, config.group.clone(), initial_heads.clone());
+        let pbs = Self::fresh_pbs(&config, me);
+        let awaiting = if initial_heads.contains(&me) { None } else { Some(Vec::new()) };
+        JoshuaServer {
+            config,
+            group,
+            pbs,
+            jmutex: JMutexState::new(),
+            applied: BTreeMap::new(),
+            needs_snapshot: BTreeSet::new(),
+            joined_current: BTreeSet::new(),
+            awaiting,
+            last_applied_seq: 0,
+            deferred: BTreeMap::new(),
+            witness: BTreeMap::new(),
+            next_tag: 1,
+            stats: JoshuaStats::default(),
+        }
+    }
+
+    fn fresh_pbs(config: &JoshuaConfig, me: ProcId) -> PbsServerCore {
+        let mut pbs = PbsServerCore::new(
+            format!("joshua-{me}"),
+            config.nodes.iter().map(|(n, _)| n.clone()),
+            config.policy.make(),
+        );
+        for (node, mom) in &config.nodes {
+            pbs.register_mom(node, *mom);
+        }
+        pbs
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection (tests, experiments)
+    // ------------------------------------------------------------------
+
+    /// The embedded PBS server.
+    pub fn pbs(&self) -> &PbsServerCore {
+        &self.pbs
+    }
+
+    /// The group membership view.
+    pub fn view(&self) -> &View {
+        self.group.view()
+    }
+
+    /// Counters.
+    pub fn stats(&self) -> JoshuaStats {
+        self.stats
+    }
+
+    /// Group-layer counters.
+    pub fn group_stats(&self) -> jrs_gcs::GroupStats {
+        self.group.stats()
+    }
+
+    /// Is this head fully established (installed and state-transferred)?
+    pub fn is_established(&self) -> bool {
+        self.group.is_installed() && self.awaiting.is_none()
+    }
+
+    /// The jmutex table (tests).
+    pub fn jmutex(&self) -> &JMutexState {
+        &self.jmutex
+    }
+
+    // ------------------------------------------------------------------
+    // Helpers
+    // ------------------------------------------------------------------
+
+    /// The member responsible for client-visible output: the lowest-ranked
+    /// member of the current view that did not just join (so it certainly
+    /// holds full state). Deterministic at every replica by virtue of
+    /// virtual synchrony.
+    fn responder(&self) -> Option<ProcId> {
+        self.group
+            .view()
+            .members
+            .iter()
+            .copied()
+            .find(|m| !self.joined_current.contains(m))
+            .or_else(|| self.group.view().leader())
+    }
+
+    fn is_responder(&self) -> bool {
+        self.responder() == Some(self.group.me())
+    }
+
+    /// Transmit group frames, modelling serial CPU cost per frame. The
+    /// cost depends on the frame class: protocol frames pay the full
+    /// daemon processing cost, stability acknowledgements pay the (slower,
+    /// timer-batched) ack-path cost, and background datagrams / bare link
+    /// acks are nearly free. Calibration table in EXPERIMENTS.md.
+    fn flush_gcs(&mut self, ctx: &mut Ctx<'_>, out: GcsOutput<Payload>) {
+        use jrs_gcs::{EngineMsg, GcsMsg};
+        let mut busy = SimDuration::ZERO;
+        let cost = &self.config.cost;
+        for (to, frame, bytes) in out.wire {
+            busy += match &frame {
+                Wire::Ack { .. } => cost.gcs_background_delay,
+                Wire::Raw(GcsMsg::Heartbeat { .. }) | Wire::Raw(GcsMsg::JoinReq { .. }) => {
+                    cost.gcs_background_delay
+                }
+                Wire::Data {
+                    msg: GcsMsg::Engine { msg: EngineMsg::Ack { .. }, .. },
+                    ..
+                } => cost.gcs_ack_delay,
+                _ => cost.gcs_frame_delay,
+            };
+            ctx.send_sized_after(to, frame, bytes, busy);
+        }
+        for ev in out.events {
+            self.on_gcs_event(ctx, ev);
+        }
+    }
+
+    fn broadcast(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let out = self.group.broadcast(ctx.now(), payload);
+        self.flush_gcs(ctx, out);
+    }
+
+    /// Broadcast `payload` after a modelled CPU delay (the work that
+    /// produces it). Keeps cost serialization correct even for the
+    /// single-head case where self-delivery is synchronous.
+    fn defer_broadcast(&mut self, ctx: &mut Ctx<'_>, payload: Payload, delay: SimDuration) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.deferred.insert(tag, payload);
+        ctx.set_timer(delay, tag);
+    }
+
+    /// Witness duty for an obituary: re-broadcast after a grace period
+    /// unless the completion became visible in the replicated state.
+    fn defer_witness(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
+        let tag = self.next_tag;
+        self.next_tag += 1;
+        self.witness.insert(tag, payload);
+        ctx.set_timer(SimDuration::from_secs(2), tag);
+    }
+
+    fn on_gcs_event(&mut self, ctx: &mut Ctx<'_>, ev: GcsEvent<Payload>) {
+        match ev {
+            GcsEvent::Deliver { seq, payload, .. } => {
+                if let Some(buf) = &mut self.awaiting {
+                    // Awaiting our snapshot: buffer everything except the
+                    // snapshot addressed to us.
+                    let is_my_snapshot = matches!(
+                        &payload,
+                        Payload::Snapshot { targets, .. } if targets.contains(&ctx.me())
+                    );
+                    if !is_my_snapshot {
+                        buf.push((seq, payload));
+                        return;
+                    }
+                }
+                self.apply(ctx, seq, payload);
+            }
+            GcsEvent::ViewChange { view, joined, left } => {
+                self.on_view_change(ctx, view, joined, left);
+            }
+            GcsEvent::Ejected => self.on_ejected(ctx),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Ordered payload application
+    // ------------------------------------------------------------------
+
+    fn apply(&mut self, ctx: &mut Ctx<'_>, seq: u64, payload: Payload) {
+        self.stats.payloads_applied += 1;
+        self.last_applied_seq = seq;
+        match payload {
+            Payload::Client { client, req_id, cmd } => {
+                self.apply_client(ctx, client, req_id, cmd);
+            }
+            Payload::Output { client, req_id } => {
+                if self.is_responder() {
+                    if let Some((applied_id, reply)) = self.applied.get(&client) {
+                        if *applied_id == req_id {
+                            let reply = reply.clone();
+                            self.stats.replies_sent += 1;
+                            ctx.send_after(
+                                client,
+                                ClientReply { req_id, reply },
+                                self.config.cost.intercept_overhead,
+                            );
+                        }
+                    }
+                }
+            }
+            Payload::MomFinished { job, exit, .. } => {
+                let actions = self.pbs.on_report(ctx.now(), &MomReport::Finished { job, exit });
+                self.dispatch(ctx, actions, SimDuration::ZERO);
+            }
+            Payload::JMutexAcquire { job, mom, session, granter } => {
+                let outcome = self.jmutex.acquire(job, mom, session, granter);
+                // The forwarding head sends the verdict; if it died while
+                // the acquire was in flight, the responder covers for it
+                // (deterministic: every replica sees the same view).
+                let sender = if self.view().contains(granter) {
+                    granter
+                } else {
+                    self.responder().unwrap_or(granter)
+                };
+                if sender == ctx.me() {
+                    let granted = outcome == JMutexOutcome::Granted;
+                    if granted {
+                        self.stats.jmutex_granted += 1;
+                    } else {
+                        self.stats.jmutex_denied += 1;
+                    }
+                    ctx.send(mom, MomInbound::Verdict { job, session, granted });
+                }
+            }
+            Payload::JMutexRelease { job } => {
+                self.jmutex.release(job);
+            }
+            Payload::Snapshot { targets, as_of_seq, state } => {
+                for t in &targets {
+                    self.needs_snapshot.remove(t);
+                    self.joined_current.remove(t);
+                }
+                if targets.contains(&ctx.me()) {
+                    self.install_snapshot(ctx, as_of_seq, *state);
+                }
+            }
+        }
+    }
+
+    fn apply_client(&mut self, ctx: &mut Ctx<'_>, client: ProcId, req_id: u64, cmd: ServerCmd) {
+        let floor = self.applied.get(&client).map(|(id, _)| *id).unwrap_or(0);
+        if req_id <= floor {
+            // Duplicate (client retried through another head). Re-release
+            // the cached output if it is the same request.
+            if req_id == floor && self.is_responder() {
+                let delay = self.config.cost.intercept_overhead;
+                self.defer_broadcast(ctx, Payload::Output { client, req_id }, delay);
+            }
+            return;
+        }
+        let cost = self.config.cost.pbs.cost_of(&cmd);
+        let (reply, actions) = self.pbs.apply(ctx.now(), &cmd);
+        self.applied.insert(client, (req_id, reply));
+        self.dispatch(ctx, actions, cost);
+        if self.is_responder() {
+            // Second ordering round, once the PBS server has produced the
+            // output: agree on its release.
+            self.defer_broadcast(ctx, Payload::Output { client, req_id }, cost);
+        }
+    }
+
+    fn dispatch(&mut self, ctx: &mut Ctx<'_>, actions: Vec<ServerAction>, delay: SimDuration) {
+        let me = ctx.me();
+        for a in actions {
+            match a {
+                ServerAction::Start { mom, job, spec, nodes } => {
+                    if let Some(mom) = mom {
+                        let msg = MomInbound::Start {
+                            job,
+                            spec,
+                            nodes,
+                            server: me,
+                            arbiter: Some(me),
+                        };
+                        ctx.send_after(mom, msg, delay + self.config.cost.pbs.dispatch_processing);
+                    }
+                }
+                ServerAction::Cancel { mom, job } => {
+                    if let Some(mom) = mom {
+                        ctx.send_after(
+                            mom,
+                            MomInbound::Cancel { job, server: me },
+                            delay + self.config.cost.pbs.dispatch_processing,
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Membership
+    // ------------------------------------------------------------------
+
+    fn on_view_change(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        view: View,
+        joined: Vec<ProcId>,
+        _left: Vec<ProcId>,
+    ) {
+        self.joined_current = joined.iter().copied().collect();
+        for j in &joined {
+            if *j != ctx.me() {
+                self.needs_snapshot.insert(*j);
+            }
+        }
+        if joined.contains(&ctx.me()) {
+            // We are the (re)joiner: await state.
+            if self.awaiting.is_none() {
+                self.awaiting = Some(Vec::new());
+            }
+            // Register with the moms for future obituaries.
+            for (_, mom) in self.config.nodes.clone() {
+                ctx.send(mom, MomInbound::RegisterServer { server: ctx.me() });
+            }
+            return;
+        }
+        // Verdict redelivery: outstanding launch grants whose granter
+        // left can never reach their mom — the responder re-sends them.
+        // Idempotent at the mom (a running/done job ignores late grants).
+        if self.is_responder() && self.awaiting.is_none() {
+            let lost: Vec<(jrs_pbs::JobId, crate::payload::Grant)> = self
+                .jmutex
+                .grants()
+                .filter(|(_, g)| !view.contains(g.granter))
+                .collect();
+            for (job, g) in lost {
+                ctx.send(
+                    g.mom,
+                    MomInbound::Verdict { job, session: g.session, granted: true },
+                );
+            }
+        }
+        // Donor duty: the responder ships state to whoever needs it.
+        if self.is_responder() && !self.needs_snapshot.is_empty() && self.awaiting.is_none() {
+            let state = ReplicaState {
+                pbs: self.pbs.snapshot(),
+                jmutex: self.jmutex.clone(),
+                applied: self
+                    .applied
+                    .iter()
+                    .map(|(c, (id, r))| (*c, *id, r.clone()))
+                    .collect(),
+                needs_snapshot: self.needs_snapshot.iter().copied().collect(),
+            };
+            let targets: Vec<ProcId> = self.needs_snapshot.iter().copied().collect();
+            self.stats.snapshots_sent += 1;
+            let as_of_seq = self.last_applied_seq;
+            self.broadcast(
+                ctx,
+                Payload::Snapshot { targets, as_of_seq, state: Box::new(state) },
+            );
+        }
+        let _ = view;
+    }
+
+    fn install_snapshot(&mut self, ctx: &mut Ctx<'_>, as_of_seq: u64, state: ReplicaState) {
+        self.stats.snapshots_installed += 1;
+        self.pbs.restore(&state.pbs);
+        self.jmutex = state.jmutex;
+        self.applied = state
+            .applied
+            .into_iter()
+            .map(|(c, id, r)| (c, (id, r)))
+            .collect();
+        self.needs_snapshot = state.needs_snapshot.into_iter().collect();
+        self.needs_snapshot.remove(&ctx.me());
+        // Replay everything ordered after the snapshot's creation point.
+        let buffered = self.awaiting.take().unwrap_or_default();
+        for (seq, payload) in buffered {
+            if seq > as_of_seq {
+                self.apply(ctx, seq, payload);
+            }
+        }
+    }
+
+    fn on_ejected(&mut self, ctx: &mut Ctx<'_>) {
+        // Total state reset; the group layer rejoins automatically and a
+        // snapshot will arrive after the next view change.
+        self.pbs = Self::fresh_pbs(&self.config, ctx.me());
+        self.jmutex = JMutexState::new();
+        self.applied.clear();
+        self.needs_snapshot.clear();
+        self.joined_current.clear();
+        self.awaiting = Some(Vec::new());
+        self.last_applied_seq = 0;
+    }
+}
+
+impl Process for JoshuaServer {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let out = self.group.start(ctx.now());
+        self.flush_gcs(ctx, out);
+        let tick = self.config.group.tick_every;
+        ctx.set_timer(tick, 0);
+        // Initial members register with the moms right away.
+        if self.group.is_installed() {
+            for (_, mom) in self.config.nodes.clone() {
+                ctx.send(mom, MomInbound::RegisterServer { server: ctx.me() });
+            }
+        }
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Msg) {
+        // Group traffic from peer daemons.
+        if msg.downcast_ref::<Wire<Payload>>().is_some() {
+            let frame = *msg.downcast::<Wire<Payload>>().expect("checked");
+            let now = ctx.now();
+            let out = self.group.on_wire(now, from, frame);
+            self.flush_gcs(ctx, out);
+            return;
+        }
+        // Intercepted PBS user command.
+        if let Some(req) = msg.downcast_ref::<ClientRequest>() {
+            self.stats.commands_forwarded += 1;
+            let payload = Payload::Client {
+                client: req.client,
+                req_id: req.req_id,
+                cmd: req.cmd.clone(),
+            };
+            // Interception cost (jsub → joshua local round), then order.
+            let delay = self.config.cost.intercept_overhead;
+            self.defer_broadcast(ctx, payload, delay);
+            return;
+        }
+        // Obituaries and other mom reports.
+        if let Some(report) = msg.downcast_ref::<MomReport>() {
+            if let MomReport::Finished { job, exit } = report {
+                // Lift into the total order. Only the responder broadcasts
+                // immediately (every head receives the same report from
+                // the mom); the others act as witnesses, re-broadcasting
+                // after a grace period if the completion never appears —
+                // covering a responder that died holding the report.
+                let p = Payload::MomFinished { job: *job, exit: *exit, mom: from };
+                if self.is_responder() {
+                    self.broadcast(ctx, p);
+                } else {
+                    self.defer_witness(ctx, p);
+                }
+            }
+            return;
+        }
+        // jmutex protocol from mom launch prologues.
+        if let Some(req) = msg.downcast_ref::<ArbiterRequest>() {
+            let p = Payload::JMutexAcquire {
+                job: req.job,
+                mom: req.mom,
+                session: req.session,
+                granter: ctx.me(),
+            };
+            self.broadcast(ctx, p);
+            return;
+        }
+        if let Some(rel) = msg.downcast_ref::<ArbiterRelease>() {
+            let p = Payload::JMutexRelease { job: rel.job };
+            self.broadcast(ctx, p);
+            return;
+        }
+        // Administrative shutdown (voluntary leave).
+        if msg.downcast_ref::<LeaveCmd>().is_some() {
+            let out = self.group.leave(ctx.now());
+            self.flush_gcs(ctx, out);
+            ctx.exit();
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, tag: u64) {
+        if tag == 0 {
+            let out = self.group.tick(ctx.now());
+            self.flush_gcs(ctx, out);
+            let tick = self.config.group.tick_every;
+            ctx.set_timer(tick, 0);
+            return;
+        }
+        if let Some(payload) = self.deferred.remove(&tag) {
+            self.broadcast(ctx, payload);
+            return;
+        }
+        if let Some(payload) = self.witness.remove(&tag) {
+            let still_needed = match &payload {
+                Payload::MomFinished { job, .. } => self
+                    .pbs
+                    .job(*job)
+                    .map(|j| j.state != jrs_pbs::JobState::Complete)
+                    .unwrap_or(false),
+                _ => false,
+            };
+            if still_needed {
+                self.broadcast(ctx, payload);
+            }
+        }
+    }
+}

@@ -1,0 +1,98 @@
+//! Embedding of a [`GroupMember`] into a `jrs-sim` process.
+//!
+//! This is both the reference embedding (joshua-core follows the same
+//! pattern with application logic attached) and the vehicle for running
+//! the group communication system over the realistic network model —
+//! latency jitter, shared-hub contention, message loss, partitions and
+//! node crashes.
+
+use crate::config::GroupConfig;
+use crate::group::{GroupMember, Output};
+use crate::msg::Wire;
+use jrs_sim::{Ctx, Msg, ProcId, Process, TimerId, EXTERNAL};
+
+/// Commands the harness can inject into a [`GcsProcess`] (via
+/// `World::inject`).
+#[derive(Debug)]
+pub enum GcsCommand<P> {
+    /// Submit a payload for totally ordered broadcast.
+    Broadcast(P),
+    /// Announce a voluntary leave and exit the process.
+    Leave,
+}
+
+/// A simulation process wrapping one group member.
+///
+/// Delivered messages, view changes and ejections are published through
+/// `Ctx::emit` as [`GcsEvent`](crate::GcsEvent) values; drain them with
+/// `World::take_emitted::<GcsEvent<P>>()`.
+pub struct GcsProcess<P> {
+    member: GroupMember<P>,
+    tick_every: jrs_sim::SimDuration,
+}
+
+impl<P: Clone + 'static> GcsProcess<P> {
+    /// Wrap a configured member.
+    pub fn new(me: ProcId, config: GroupConfig, initial: Vec<ProcId>) -> Self {
+        let tick_every = config.tick_every;
+        GcsProcess { member: GroupMember::new(me, config, initial), tick_every }
+    }
+
+    /// Read-only access to the wrapped member (post-run inspection).
+    pub fn member(&self) -> &GroupMember<P> {
+        &self.member
+    }
+
+    fn flush_output(&mut self, ctx: &mut Ctx<'_>, out: Output<P>) {
+        for (to, frame, bytes) in out.wire {
+            ctx.send_sized(to, frame, bytes);
+        }
+        for ev in out.events {
+            ctx.emit(ev);
+        }
+    }
+}
+
+impl<P: Clone + 'static> Process for GcsProcess<P> {
+    fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        let out = self.member.start(ctx.now());
+        self.flush_output(ctx, out);
+        let tick = self.tick_every;
+        ctx.set_timer(tick, 0);
+    }
+
+    fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Msg) {
+        if from == EXTERNAL {
+            match *msg.downcast::<GcsCommand<P>>().expect("GcsCommand payload") {
+                GcsCommand::Broadcast(p) => {
+                    let out = self.member.broadcast(ctx.now(), p);
+                    self.flush_output(ctx, out);
+                }
+                GcsCommand::Leave => {
+                    let out = self.member.leave(ctx.now());
+                    self.flush_output(ctx, out);
+                    ctx.exit();
+                }
+            }
+            return;
+        }
+        let frame = *msg.downcast::<Wire<P>>().expect("Wire frame");
+        let now = ctx.now();
+        let out = self.member.on_wire(now, from, frame);
+        self.flush_output(ctx, out);
+    }
+
+    fn on_timer(&mut self, ctx: &mut Ctx<'_>, _timer: TimerId, _tag: u64) {
+        let out = self.member.tick(ctx.now());
+        self.flush_output(ctx, out);
+        let tick = self.tick_every;
+        ctx.set_timer(tick, 0);
+    }
+}
+
+impl<P> GcsProcess<P> {
+    /// The tick interval used by this embedding.
+    pub fn tick_interval(&self) -> jrs_sim::SimDuration {
+        self.tick_every
+    }
+}

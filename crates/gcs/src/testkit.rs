@@ -1,0 +1,213 @@
+//! In-memory network pump for driving [`GroupMember`]s directly in tests —
+//! no simulation kernel, zero latency, fully deterministic FIFO delivery.
+//!
+//! This is the unit-test complement to the full `jrs-sim` integration (used
+//! by downstream crates): protocol logic can be exercised step by step,
+//! with surgical crash/partition control between steps.
+
+use crate::config::GroupConfig;
+use crate::group::{GcsEvent, GroupMember, Output};
+use crate::msg::Wire;
+use jrs_sim::{ProcId, SimDuration, SimTime};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+/// A delivered application message, as recorded by the pump.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Delivered<P> {
+    /// Total-order position.
+    pub seq: u64,
+    /// Originating member.
+    pub origin: ProcId,
+    /// Payload.
+    pub payload: P,
+}
+
+/// A little in-memory cluster of group members with a FIFO network.
+pub struct Pump<P> {
+    /// The members, by id. Crashed members are removed.
+    pub members: BTreeMap<ProcId, GroupMember<P>>,
+    queue: VecDeque<(ProcId, ProcId, Wire<P>)>,
+    /// Everything each member delivered, in order.
+    pub delivered: BTreeMap<ProcId, Vec<Delivered<P>>>,
+    /// Views each member installed, in order (member lists).
+    pub views: BTreeMap<ProcId, Vec<Vec<ProcId>>>,
+    /// Ejection notifications per member.
+    pub ejections: BTreeMap<ProcId, u32>,
+    /// Directed pairs currently cut (simulates partitions/cable pulls).
+    pub cut: BTreeSet<(ProcId, ProcId)>,
+    /// Current virtual time.
+    pub now: SimTime,
+}
+
+impl<P: Clone + 'static> Pump<P> {
+    /// Build a group of `n` members with ids `ProcId(0)..ProcId(n-1)`,
+    /// started and pumped until quiet.
+    pub fn group(n: u32, config: GroupConfig) -> Self {
+        let ids: Vec<ProcId> = (0..n).map(ProcId).collect();
+        let mut pump = Pump {
+            members: BTreeMap::new(),
+            queue: VecDeque::new(),
+            delivered: BTreeMap::new(),
+            views: BTreeMap::new(),
+            ejections: BTreeMap::new(),
+            cut: BTreeSet::new(),
+            now: SimTime::ZERO,
+        };
+        for &id in &ids {
+            let mut m = GroupMember::new(id, config.clone(), ids.clone());
+            let out = m.start(pump.now);
+            pump.members.insert(id, m);
+            pump.absorb(id, out);
+        }
+        pump.run();
+        pump
+    }
+
+    /// Add a fresh joiner whose contact list is the given set.
+    pub fn add_joiner(&mut self, id: ProcId, contacts: Vec<ProcId>, config: GroupConfig) {
+        let mut m = GroupMember::new(id, config, contacts);
+        let out = m.start(self.now);
+        self.members.insert(id, m);
+        self.absorb(id, out);
+        self.run();
+    }
+
+    fn absorb(&mut self, who: ProcId, out: Output<P>) {
+        for (to, frame, _bytes) in out.wire {
+            self.queue.push_back((who, to, frame));
+        }
+        for ev in out.events {
+            match ev {
+                GcsEvent::Deliver { seq, origin, payload } => self
+                    .delivered
+                    .entry(who)
+                    .or_default()
+                    .push(Delivered { seq, origin, payload }),
+                GcsEvent::ViewChange { view, .. } => {
+                    self.views.entry(who).or_default().push(view.members)
+                }
+                GcsEvent::Ejected => *self.ejections.entry(who).or_default() += 1,
+            }
+        }
+    }
+
+    /// Deliver all in-flight frames (and whatever they trigger) until the
+    /// network is quiet. Time does not advance.
+    pub fn run(&mut self) {
+        // Guard against protocol ping-pong loops in broken code.
+        let mut budget = 1_000_000u64;
+        while let Some((from, to, frame)) = self.queue.pop_front() {
+            budget -= 1;
+            assert!(budget > 0, "network did not quiesce");
+            if self.cut.contains(&(from, to)) {
+                continue;
+            }
+            let Some(m) = self.members.get_mut(&to) else {
+                continue; // crashed
+            };
+            let out = m.on_wire(self.now, from, frame);
+            self.absorb(to, out);
+        }
+    }
+
+    /// Advance time by `d` and tick every member once, then pump.
+    pub fn tick(&mut self, d: SimDuration) {
+        self.now += d;
+        let ids: Vec<ProcId> = self.members.keys().copied().collect();
+        for id in ids {
+            let out = self.members.get_mut(&id).unwrap().tick(self.now);
+            self.absorb(id, out);
+        }
+        self.run();
+    }
+
+    /// Tick repeatedly with the members' tick interval for `total` time.
+    pub fn tick_for(&mut self, step: SimDuration, total: SimDuration) {
+        let steps = (total.as_nanos() / step.as_nanos().max(1)).max(1);
+        for _ in 0..steps {
+            self.tick(step);
+        }
+    }
+
+    /// Broadcast a payload from `who`, pump, and flush the tick-batched
+    /// stability announcements so followers deliver too.
+    pub fn broadcast(&mut self, who: ProcId, payload: P) {
+        let out = self
+            .members
+            .get_mut(&who)
+            .expect("broadcasting member exists")
+            .broadcast(self.now, payload);
+        self.absorb(who, out);
+        self.run();
+        // Two zero-advance tick rounds: collector announces stability,
+        // followers deliver.
+        self.tick(SimDuration::ZERO);
+        self.tick(SimDuration::ZERO);
+    }
+
+    /// Crash a member (removed; its in-flight messages still deliver).
+    pub fn crash(&mut self, who: ProcId) {
+        self.members.remove(&who);
+    }
+
+    /// Gracefully leave: announce, then crash.
+    pub fn leave(&mut self, who: ProcId) {
+        if let Some(m) = self.members.get_mut(&who) {
+            let out = m.leave(self.now);
+            self.absorb(who, out);
+        }
+        self.crash(who);
+        self.run();
+    }
+
+    /// Cut both directions between two members.
+    pub fn partition(&mut self, a: ProcId, b: ProcId) {
+        self.cut.insert((a, b));
+        self.cut.insert((b, a));
+    }
+
+    /// Restore all connectivity.
+    pub fn heal(&mut self) {
+        self.cut.clear();
+    }
+
+    /// Payload sequences delivered by each live member (for agreement
+    /// assertions).
+    pub fn delivered_payloads(&self, who: ProcId) -> Vec<P> {
+        self.delivered
+            .get(&who)
+            .map(|v| v.iter().map(|d| d.payload.clone()).collect())
+            .unwrap_or_default()
+    }
+
+    /// Assert every live member delivered exactly the same sequence.
+    /// Returns that common sequence.
+    pub fn assert_agreement(&self) -> Vec<(u64, ProcId)>
+    where
+        P: std::fmt::Debug + PartialEq,
+    {
+        let mut reference: Option<(ProcId, &Vec<Delivered<P>>)> = None;
+        for (&id, dl) in &self.delivered {
+            if !self.members.contains_key(&id) {
+                continue; // crashed members may legitimately lag
+            }
+            match &reference {
+                None => reference = Some((id, dl)),
+                Some((rid, rdl)) => {
+                    assert_eq!(
+                        rdl, &dl,
+                        "member {id} disagrees with member {rid} on the delivery sequence"
+                    );
+                }
+            }
+        }
+        reference
+            .map(|(_, dl)| dl.iter().map(|d| (d.seq, d.origin)).collect())
+            .unwrap_or_default()
+    }
+
+    /// The current installed view members of a live member.
+    pub fn view_of(&self, who: ProcId) -> Vec<ProcId> {
+        self.members[&who].view().members.clone()
+    }
+}

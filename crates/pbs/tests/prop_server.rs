@@ -1,0 +1,241 @@
+//! Property-based tests of the PBS server core — the determinism and
+//! safety properties JOSHUA's replication scheme depends on.
+
+use jrs_pbs::server::MomReport;
+use jrs_pbs::{
+    FifoExclusive, FifoShared, JobId, JobSpec, JobState, PbsServerCore, Policy, ServerAction,
+    ServerCmd,
+};
+use jrs_sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// A randomized input to the server: a command or a mom report.
+#[derive(Clone, Debug)]
+enum Input {
+    Qsub { nodes: u8, runtime_s: u16 },
+    Qdel(u8),
+    Qhold(u8),
+    Qrls(u8),
+    Qstat,
+    Finish(u8),
+}
+
+fn input_strategy() -> impl Strategy<Value = Input> {
+    prop_oneof![
+        4 => (1u8..4, 1u16..100).prop_map(|(nodes, runtime_s)| Input::Qsub { nodes, runtime_s }),
+        2 => any::<u8>().prop_map(Input::Qdel),
+        1 => any::<u8>().prop_map(Input::Qhold),
+        1 => any::<u8>().prop_map(Input::Qrls),
+        1 => Just(Input::Qstat),
+        3 => any::<u8>().prop_map(Input::Finish),
+    ]
+}
+
+fn mk_server(shared: bool, nodes: usize) -> PbsServerCore {
+    let policy: Box<dyn Policy> =
+        if shared { Box::new(FifoShared) } else { Box::new(FifoExclusive) };
+    PbsServerCore::new("prop", (0..nodes).map(|i| format!("c{i:02}")), policy)
+}
+
+/// Drive a server with the inputs, tracking the set of start-dispatched
+/// jobs so Finish targets real jobs. Returns actions count (for replica
+/// comparison).
+fn drive(server: &mut PbsServerCore, inputs: &[Input], now: SimTime) -> Vec<usize> {
+    let mut submitted = 0u64;
+    let mut running: BTreeSet<JobId> = BTreeSet::new();
+    let mut action_counts = Vec::new();
+    for inp in inputs {
+        let actions = match inp {
+            Input::Qsub { nodes, runtime_s } => {
+                submitted += 1;
+                let mut spec = JobSpec::with_runtime(
+                    format!("p{submitted}"),
+                    SimDuration::from_secs(*runtime_s as u64),
+                );
+                spec.nodes = *nodes as u32;
+                let (_r, a) = server.apply(now, &ServerCmd::Qsub(spec));
+                a
+            }
+            Input::Qdel(k) if submitted > 0 => {
+                let id = JobId(1 + (*k as u64 % submitted));
+                let (_r, a) = server.apply(now, &ServerCmd::Qdel(id));
+                a
+            }
+            Input::Qhold(k) if submitted > 0 => {
+                let id = JobId(1 + (*k as u64 % submitted));
+                let (_r, a) = server.apply(now, &ServerCmd::Qhold(id));
+                a
+            }
+            Input::Qrls(k) if submitted > 0 => {
+                let id = JobId(1 + (*k as u64 % submitted));
+                let (_r, a) = server.apply(now, &ServerCmd::Qrls(id));
+                a
+            }
+            Input::Qstat => {
+                let (_r, a) = server.apply(now, &ServerCmd::Qstat(None));
+                a
+            }
+            Input::Finish(k) => {
+                if running.is_empty() {
+                    action_counts.push(0);
+                    continue;
+                }
+                let ids: Vec<JobId> = running.iter().copied().collect();
+                let id = ids[*k as usize % ids.len()];
+                running.remove(&id);
+                server.on_report(now, &MomReport::Finished { job: id, exit: 0 })
+            }
+            _ => {
+                action_counts.push(0);
+                continue;
+            }
+        };
+        for a in &actions {
+            if let ServerAction::Start { job, .. } = a {
+                running.insert(*job);
+            }
+            if let ServerAction::Cancel { job, .. } = a {
+                // Simulate the mom confirming the cancel immediately.
+                running.remove(job);
+            }
+        }
+        // Feed cancel confirmations back (moms are immediate here).
+        let mut extra = 0;
+        for a in actions.iter() {
+            if let ServerAction::Cancel { job, .. } = a {
+                let more = server.on_report(
+                    now,
+                    &MomReport::Finished { job: *job, exit: jrs_pbs::job::exit::CANCELLED },
+                );
+                for m in &more {
+                    if let ServerAction::Start { job, .. } = m {
+                        running.insert(*job);
+                    }
+                }
+                extra += more.len();
+            }
+        }
+        action_counts.push(actions.len() + extra);
+    }
+    action_counts
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Replication safety: two replicas fed the same input sequence at
+    /// different local times end in consistent state with identical
+    /// action streams.
+    #[test]
+    fn replicas_deterministic(
+        inputs in prop::collection::vec(input_strategy(), 1..60),
+        shared in any::<bool>(),
+    ) {
+        let mut a = mk_server(shared, 4);
+        let mut b = mk_server(shared, 4);
+        let ca = drive(&mut a, &inputs, SimTime::ZERO);
+        let cb = drive(&mut b, &inputs, SimTime::ZERO + SimDuration::from_secs(1234));
+        prop_assert_eq!(ca, cb, "replicas took different actions");
+        prop_assert!(a.snapshot().consistent_with(&b.snapshot()));
+    }
+
+    /// Resource safety: at no point are more nodes allocated than exist,
+    /// and no node is double-allocated.
+    #[test]
+    fn no_overallocation(
+        inputs in prop::collection::vec(input_strategy(), 1..60),
+        shared in any::<bool>(),
+    ) {
+        let mut s = mk_server(shared, 4);
+        // drive() checks internally via NodePool debug asserts; externally:
+        let _ = drive(&mut s, &inputs, SimTime::ZERO);
+        let allocated: Vec<String> = s
+            .jobs_in_order()
+            .filter(|j| j.state == JobState::Running)
+            .flat_map(|j| j.allocated.clone())
+            .collect();
+        let unique: BTreeSet<&String> = allocated.iter().collect();
+        prop_assert_eq!(unique.len(), allocated.len(), "node double-allocated");
+        prop_assert!(allocated.len() <= 4);
+    }
+
+    /// Queue discipline: under FIFO-exclusive at most one job runs, and a
+    /// queued job with a lower id than the running one must have been
+    /// held at some point (holding legitimately forfeits the position
+    /// while successors start).
+    #[test]
+    fn fifo_exclusive_never_overtakes(
+        inputs in prop::collection::vec(input_strategy(), 1..60),
+    ) {
+        let mut s = mk_server(false, 4);
+        let _ = drive(&mut s, &inputs, SimTime::ZERO);
+        // Replay the driver's id resolution to find ever-held jobs.
+        let mut submitted = 0u64;
+        let mut ever_held: std::collections::BTreeSet<JobId> = Default::default();
+        for inp in &inputs {
+            match inp {
+                Input::Qsub { .. } => submitted += 1,
+                Input::Qhold(k) if submitted > 0 => {
+                    ever_held.insert(JobId(1 + (*k as u64 % submitted)));
+                }
+                _ => {}
+            }
+        }
+        let running: Vec<JobId> = s
+            .jobs_in_order()
+            .filter(|j| matches!(j.state, JobState::Running | JobState::Exiting))
+            .map(|j| j.id)
+            .collect();
+        prop_assert!(running.len() <= 1, "exclusive policy ran {} jobs", running.len());
+        if let Some(r) = running.first() {
+            for j in s.jobs_in_order() {
+                if j.state == JobState::Queued && !ever_held.contains(&j.id) {
+                    prop_assert!(j.id > *r, "queued job {} overtaken by {}", j.id, r);
+                }
+            }
+        }
+    }
+
+    /// Snapshot/restore is lossless at any point in a random history.
+    #[test]
+    fn snapshot_roundtrip_anywhere(
+        inputs in prop::collection::vec(input_strategy(), 1..40),
+        cut in 0usize..40,
+    ) {
+        let mut s = mk_server(true, 4);
+        let cut = cut.min(inputs.len());
+        let _ = drive(&mut s, &inputs[..cut], SimTime::ZERO);
+        let snap = s.snapshot();
+        let mut restored = mk_server(true, 4);
+        restored.restore(&snap);
+        prop_assert!(restored.snapshot().consistent_with(&snap));
+        // Both continue identically on the remaining inputs.
+        let ca = drive(&mut s, &inputs[cut..], SimTime::ZERO);
+        let cb = drive(&mut restored, &inputs[cut..], SimTime::ZERO);
+        prop_assert_eq!(ca, cb);
+        prop_assert!(s.snapshot().consistent_with(&restored.snapshot()));
+    }
+
+    /// Terminal-state hygiene: complete jobs always carry an exit status,
+    /// and no job is ever lost (every submitted id is present).
+    #[test]
+    fn job_accounting(
+        inputs in prop::collection::vec(input_strategy(), 1..60),
+    ) {
+        let mut s = mk_server(true, 4);
+        let _ = drive(&mut s, &inputs, SimTime::ZERO);
+        let submitted = inputs
+            .iter()
+            .filter(|i| matches!(i, Input::Qsub { .. }))
+            .count();
+        prop_assert_eq!(s.jobs_in_order().count(), submitted);
+        for j in s.jobs_in_order() {
+            if j.state == JobState::Complete {
+                prop_assert!(j.exit_status.is_some(), "complete job without exit status");
+            } else {
+                prop_assert!(j.exit_status.is_none());
+            }
+        }
+    }
+}

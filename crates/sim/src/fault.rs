@@ -1,0 +1,171 @@
+//! Declarative fault plans.
+//!
+//! The paper's functional evaluation "simulated failures by unplugging
+//! network cables and by forcibly shutting down individual processes". A
+//! [`FaultPlan`] scripts exactly those actions at precise virtual times, so
+//! failure experiments are reproducible and assertable.
+
+use crate::ids::{NodeId, ProcId};
+use crate::time::SimTime;
+use crate::world::World;
+
+/// One scripted fault (or repair) action.
+#[derive(Clone, Debug, PartialEq)]
+pub enum FaultAction {
+    /// Power off a node: every process on it dies instantly.
+    CrashNode(NodeId),
+    /// Kill one process (daemon) only.
+    KillProc(ProcId),
+    /// Bring a crashed node's hardware back (processes must be restarted by
+    /// the harness separately).
+    ReviveNode(NodeId),
+    /// Move a node into partition group `group` (unplug / replug cables).
+    Partition {
+        /// The node to move.
+        node: NodeId,
+        /// Its new partition group.
+        group: u32,
+    },
+    /// Remove all partitions.
+    HealPartitions,
+    /// Set a directed message-loss probability between two nodes.
+    PairLoss {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Loss probability in `[0, 1]`.
+        p: f64,
+    },
+}
+
+/// A time-ordered script of fault actions.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    steps: Vec<(SimTime, FaultAction)>,
+}
+
+impl FaultPlan {
+    /// Empty plan.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add an action at an absolute virtual time. Returns `self` for
+    /// chaining.
+    pub fn at(mut self, time: SimTime, action: FaultAction) -> Self {
+        self.steps.push((time, action));
+        self
+    }
+
+    /// Convenience: crash `node` at `time`.
+    pub fn crash_at(self, time: SimTime, node: NodeId) -> Self {
+        self.at(time, FaultAction::CrashNode(node))
+    }
+
+    /// Number of scripted steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// True when nothing is scripted.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The scripted steps in insertion order.
+    pub fn steps(&self) -> &[(SimTime, FaultAction)] {
+        &self.steps
+    }
+
+    /// Schedule every step onto a world. Call once, before running.
+    pub fn apply(&self, world: &mut World) {
+        for (time, action) in self.steps.clone() {
+            world.schedule_at(time, move |w| match action {
+                FaultAction::CrashNode(n) => w.crash_node(n),
+                FaultAction::KillProc(p) => w.kill_proc(p),
+                FaultAction::ReviveNode(n) => w.revive_node(n),
+                FaultAction::Partition { node, group } => w.set_partition_group(node, group),
+                FaultAction::HealPartitions => {
+                    w.network_mut().heal_partitions();
+                }
+                FaultAction::PairLoss { from, to, p } => {
+                    w.network_mut().set_pair_loss(from, to, p);
+                }
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::network::NetworkConfig;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn plan_executes_in_time_order() {
+        let mut w = World::with_network(0, NetworkConfig::ideal());
+        let a = w.add_node("a");
+        let b = w.add_node("b");
+        let t1 = SimTime::ZERO + SimDuration::from_secs(1);
+        let t2 = SimTime::ZERO + SimDuration::from_secs(2);
+        let plan = FaultPlan::new()
+            .crash_at(t1, a)
+            .at(t2, FaultAction::ReviveNode(a))
+            .at(t1, FaultAction::Partition { node: b, group: 3 });
+        assert_eq!(plan.len(), 3);
+        plan.apply(&mut w);
+
+        w.run_until(SimTime::ZERO + SimDuration::from_millis(500));
+        assert!(w.is_node_alive(a));
+
+        w.run_until(SimTime::ZERO + SimDuration::from_millis(1500));
+        assert!(!w.is_node_alive(a));
+        assert_eq!(w.network().group_of(b), 3);
+
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+        assert!(w.is_node_alive(a));
+    }
+
+    #[test]
+    fn heal_and_pair_loss_actions() {
+        let mut w = World::with_network(0, NetworkConfig::ideal());
+        let a = w.add_node("a");
+        let b = w.add_node("b");
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        FaultPlan::new()
+            .at(SimTime::ZERO, FaultAction::Partition { node: a, group: 1 })
+            .at(SimTime::ZERO, FaultAction::PairLoss { from: a, to: b, p: 0.5 })
+            .at(t, FaultAction::HealPartitions)
+            .at(t, FaultAction::PairLoss { from: a, to: b, p: 0.0 })
+            .apply(&mut w);
+        w.run_until(SimTime::ZERO + SimDuration::from_millis(10));
+        assert_eq!(w.network().group_of(a), 1);
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert_eq!(w.network().group_of(a), 0);
+    }
+
+    #[test]
+    fn kill_proc_action() {
+        struct P;
+        impl crate::process::Process for P {
+            fn on_message(
+                &mut self,
+                _: &mut crate::process::Ctx<'_>,
+                _: ProcId,
+                _: crate::process::Msg,
+            ) {
+            }
+        }
+        let mut w = World::with_network(0, NetworkConfig::ideal());
+        let a = w.add_node("a");
+        let p = w.add_process(a, P);
+        FaultPlan::new()
+            .at(SimTime::ZERO + SimDuration::from_secs(1), FaultAction::KillProc(p))
+            .apply(&mut w);
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(2));
+        assert!(!w.is_proc_alive(p));
+        assert!(w.is_node_alive(a));
+    }
+}

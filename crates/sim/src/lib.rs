@@ -1,0 +1,55 @@
+//! # jrs-sim — deterministic discrete-event simulation kernel
+//!
+//! The substrate on which the JOSHUA reproduction runs. It replaces the
+//! paper's physical testbed (four head nodes and two compute nodes on a Fast
+//! Ethernet hub) with a deterministic, fully controllable virtual cluster:
+//!
+//! * **Virtual time** ([`SimTime`], [`SimDuration`]) — integer nanoseconds,
+//!   bit-for-bit reproducible runs.
+//! * **Actors** ([`Process`]) — sans-IO protocol state machines receiving
+//!   messages and timer events through a [`Ctx`] handle.
+//! * **Network model** ([`network`]) — latency distributions, loss,
+//!   partitions, and an optional shared-hub contention model matching the
+//!   paper's half-duplex 100 Mbit/s hub.
+//! * **Fault injection** ([`fault`]) — scripted crashes, partitions and
+//!   repairs: the reproducible equivalent of "unplugging network cables and
+//!   forcibly shutting down individual processes".
+//! * **Measurement** ([`metrics`], [`trace`]) — virtual-time histograms and
+//!   a structured event trace.
+//!
+//! ## Example
+//!
+//! ```
+//! use jrs_sim::{World, Process, Ctx, Msg, ProcId};
+//!
+//! struct Counter { seen: u32 }
+//! impl Process for Counter {
+//!     fn on_message(&mut self, _ctx: &mut Ctx<'_>, _from: ProcId, _msg: Msg) {
+//!         self.seen += 1;
+//!     }
+//! }
+//!
+//! let mut world = World::new(42);
+//! let node = world.add_node("head-a");
+//! let counter = world.add_process(node, Counter { seen: 0 });
+//! world.inject(counter, "hello");
+//! world.run_until_idle();
+//! assert_eq!(world.proc_ref::<Counter>(counter).unwrap().seen, 1);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod fault;
+mod ids;
+pub mod metrics;
+pub mod network;
+mod process;
+mod time;
+pub mod trace;
+mod world;
+
+pub use ids::{NodeId, ProcId, TimerId};
+pub use network::{HubConfig, Latency, LinkConfig, NetworkConfig};
+pub use process::{Ctx, Msg, Process, EXTERNAL};
+pub use time::{SimDuration, SimTime};
+pub use world::{Emitted, Thunk, World};

@@ -1,0 +1,483 @@
+//! Network model: link latency distributions, loss, shared-hub contention and
+//! partitions.
+//!
+//! The paper's testbed is a set of head/compute nodes on a single Fast
+//! Ethernet (100 Mbit/s, half duplex) hub. We model:
+//!
+//! * **local** delivery (between two processes on the same node) with a small
+//!   constant-ish latency (loopback + IPC cost);
+//! * **LAN** delivery (cross-node) with a configurable latency distribution
+//!   and drop probability;
+//! * optional **shared hub** contention: a single half-duplex medium that
+//!   serializes all cross-node transmissions, adding queueing delay under
+//!   load (`size / bandwidth` occupancy per frame);
+//! * **partitions**: every node carries a partition-group tag; messages
+//!   between different groups are silently dropped (as a pulled cable would).
+
+use crate::ids::NodeId;
+use crate::time::{SimDuration, SimTime};
+use rand::rngs::StdRng;
+use rand::RngExt;
+use std::collections::HashMap;
+
+/// A latency distribution for a link.
+#[derive(Clone, Debug)]
+pub enum Latency {
+    /// Always exactly this value.
+    Constant(SimDuration),
+    /// Uniformly distributed in `[min, max]`.
+    Uniform {
+        /// Inclusive lower bound.
+        min: SimDuration,
+        /// Inclusive upper bound.
+        max: SimDuration,
+    },
+    /// Normal distribution (sampled via Irwin–Hall approximation to stay
+    /// dependency-light), clamped below at `floor`.
+    Normal {
+        /// Mean of the distribution.
+        mean: SimDuration,
+        /// Standard deviation.
+        stddev: SimDuration,
+        /// Hard lower clamp (a latency cannot be negative or sub-wire).
+        floor: SimDuration,
+    },
+}
+
+impl Latency {
+    /// Draw one latency sample.
+    pub fn sample(&self, rng: &mut StdRng) -> SimDuration {
+        match *self {
+            Latency::Constant(d) => d,
+            Latency::Uniform { min, max } => {
+                if max <= min {
+                    min
+                } else {
+                    SimDuration::from_nanos(rng.random_range(min.as_nanos()..=max.as_nanos()))
+                }
+            }
+            Latency::Normal { mean, stddev, floor } => {
+                // Irwin–Hall: sum of 12 U(0,1) minus 6 approximates N(0,1).
+                let mut z = -6.0f64;
+                for _ in 0..12 {
+                    z += rng.random::<f64>();
+                }
+                let ns = mean.as_nanos() as f64 + z * stddev.as_nanos() as f64;
+                let ns = ns.max(floor.as_nanos() as f64);
+                SimDuration::from_nanos(ns as u64)
+            }
+        }
+    }
+
+    /// The mean of the distribution (exact for all variants).
+    pub fn mean(&self) -> SimDuration {
+        match *self {
+            Latency::Constant(d) => d,
+            Latency::Uniform { min, max } => SimDuration::from_nanos(
+                (min.as_nanos() / 2).saturating_add(max.as_nanos() / 2),
+            ),
+            Latency::Normal { mean, .. } => mean,
+        }
+    }
+}
+
+/// Configuration of one class of link.
+#[derive(Clone, Debug)]
+pub struct LinkConfig {
+    /// Propagation + stack latency distribution.
+    pub latency: Latency,
+    /// Probability that a message is silently lost.
+    pub drop_prob: f64,
+    /// Per-link serialization bandwidth. `None` means infinitely fast
+    /// (transmission time is folded into `latency`).
+    pub bandwidth_bytes_per_sec: Option<u64>,
+}
+
+impl LinkConfig {
+    /// A perfectly reliable constant-latency link.
+    pub fn constant(latency: SimDuration) -> Self {
+        LinkConfig {
+            latency: Latency::Constant(latency),
+            drop_prob: 0.0,
+            bandwidth_bytes_per_sec: None,
+        }
+    }
+}
+
+/// Shared-medium (hub) contention model.
+#[derive(Clone, Debug)]
+pub struct HubConfig {
+    /// Raw medium bandwidth (100 Mbit/s Fast Ethernet ≈ 12_500_000 B/s).
+    pub bandwidth_bytes_per_sec: u64,
+    /// Fixed per-frame overhead occupying the medium (preamble, IFG, CSMA/CD
+    /// back-off budget), independent of payload size.
+    pub per_frame_overhead: SimDuration,
+}
+
+impl HubConfig {
+    /// 100 Mbit/s half-duplex Fast Ethernet hub, as in the paper's testbed.
+    pub fn fast_ethernet() -> Self {
+        HubConfig {
+            bandwidth_bytes_per_sec: 12_500_000,
+            per_frame_overhead: SimDuration::from_micros(10),
+        }
+    }
+}
+
+/// Full network configuration.
+#[derive(Clone, Debug)]
+pub struct NetworkConfig {
+    /// Same-node process-to-process delivery.
+    pub local: LinkConfig,
+    /// Cross-node delivery.
+    pub lan: LinkConfig,
+    /// Optional shared-hub contention for cross-node messages.
+    pub hub: Option<HubConfig>,
+}
+
+impl Default for NetworkConfig {
+    fn default() -> Self {
+        // Loosely calibrated to a 2006-era Fast-Ethernet Beowulf LAN:
+        // ~60us loopback, ~220us +/- jitter cross-node UDP round.
+        NetworkConfig {
+            local: LinkConfig {
+                latency: Latency::Uniform {
+                    min: SimDuration::from_micros(40),
+                    max: SimDuration::from_micros(80),
+                },
+                drop_prob: 0.0,
+                bandwidth_bytes_per_sec: None,
+            },
+            lan: LinkConfig {
+                latency: Latency::Normal {
+                    mean: SimDuration::from_micros(220),
+                    stddev: SimDuration::from_micros(40),
+                    floor: SimDuration::from_micros(90),
+                },
+                drop_prob: 0.0,
+                bandwidth_bytes_per_sec: None,
+            },
+            hub: Some(HubConfig::fast_ethernet()),
+        }
+    }
+}
+
+impl NetworkConfig {
+    /// An ideal network: zero loss, tiny constant latencies, no contention.
+    /// Useful for protocol unit tests where timing is irrelevant.
+    pub fn ideal() -> Self {
+        NetworkConfig {
+            local: LinkConfig::constant(SimDuration::from_micros(1)),
+            lan: LinkConfig::constant(SimDuration::from_micros(10)),
+            hub: None,
+        }
+    }
+
+    /// A lossy LAN for stress-testing retransmission logic.
+    pub fn lossy(drop_prob: f64) -> Self {
+        let mut cfg = NetworkConfig::ideal();
+        cfg.lan.drop_prob = drop_prob;
+        cfg
+    }
+}
+
+/// The verdict the network model gives for one message send.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Outcome {
+    /// Deliver after this total delay (queueing + transmission + latency).
+    Deliver(SimDuration),
+    /// Silently dropped (loss or partition).
+    Drop(DropReason),
+}
+
+/// Why a message was dropped.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DropReason {
+    /// Random loss on the link.
+    Loss,
+    /// Sender and receiver are in different partition groups.
+    Partition,
+    /// Source or destination node is crashed.
+    DeadNode,
+}
+
+/// Mutable network state owned by the world.
+#[derive(Debug)]
+pub struct Network {
+    config: NetworkConfig,
+    /// Partition group per node; nodes talk only within their group.
+    groups: HashMap<NodeId, u32>,
+    /// Extra drop probability per directed node pair (e.g. a flaky cable).
+    pair_loss: HashMap<(NodeId, NodeId), f64>,
+    /// When the shared hub becomes free again.
+    hub_free_at: SimTime,
+    /// Messages handed to the network.
+    pub sent: u64,
+    /// Messages dropped by random loss.
+    pub dropped_loss: u64,
+    /// Messages dropped at partition boundaries.
+    pub dropped_partition: u64,
+    /// Total payload bytes transmitted cross-node.
+    pub bytes_sent: u64,
+}
+
+impl Network {
+    /// Create network state from a configuration.
+    pub fn new(config: NetworkConfig) -> Self {
+        Network {
+            config,
+            groups: HashMap::new(),
+            pair_loss: HashMap::new(),
+            hub_free_at: SimTime::ZERO,
+            sent: 0,
+            dropped_loss: 0,
+            dropped_partition: 0,
+            bytes_sent: 0,
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &NetworkConfig {
+        &self.config
+    }
+
+    /// Put `node` into partition group `group`. Nodes in different groups
+    /// cannot exchange messages. All nodes start in group 0.
+    pub fn set_partition_group(&mut self, node: NodeId, group: u32) {
+        self.groups.insert(node, group);
+    }
+
+    /// Heal all partitions (everyone back to group 0).
+    pub fn heal_partitions(&mut self) {
+        self.groups.clear();
+    }
+
+    /// Partition group of a node.
+    pub fn group_of(&self, node: NodeId) -> u32 {
+        self.groups.get(&node).copied().unwrap_or(0)
+    }
+
+    /// Set an extra directed loss probability between two nodes.
+    pub fn set_pair_loss(&mut self, from: NodeId, to: NodeId, p: f64) {
+        if p <= 0.0 {
+            self.pair_loss.remove(&(from, to));
+        } else {
+            self.pair_loss.insert((from, to), p.min(1.0));
+        }
+    }
+
+    /// Decide the fate of one message of `bytes` payload sent at `now` from
+    /// `from_node` to `to_node`.
+    pub fn route(
+        &mut self,
+        rng: &mut StdRng,
+        now: SimTime,
+        from_node: NodeId,
+        to_node: NodeId,
+        bytes: u32,
+    ) -> Outcome {
+        self.sent += 1;
+        if from_node == to_node {
+            let link = self.config.local.clone();
+            return self.through_link(rng, &link, bytes, SimDuration::ZERO);
+        }
+        if self.group_of(from_node) != self.group_of(to_node) {
+            self.dropped_partition += 1;
+            return Outcome::Drop(DropReason::Partition);
+        }
+        if let Some(&p) = self.pair_loss.get(&(from_node, to_node)) {
+            if rng.random::<f64>() < p {
+                self.dropped_loss += 1;
+                return Outcome::Drop(DropReason::Loss);
+            }
+        }
+        // Shared-hub queueing: the frame occupies the medium for
+        // overhead + bytes/bandwidth starting when the hub is next free.
+        let queueing = if let Some(hub) = &self.config.hub {
+            let start = self.hub_free_at.max(now);
+            let tx = SimDuration::from_nanos(
+                (bytes as u64).saturating_mul(1_000_000_000) / hub.bandwidth_bytes_per_sec,
+            ) + hub.per_frame_overhead;
+            self.hub_free_at = start + tx;
+            (start + tx) - now
+        } else {
+            SimDuration::ZERO
+        };
+        self.bytes_sent += bytes as u64;
+        let link = self.config.lan.clone();
+        self.through_link(rng, &link, bytes, queueing)
+    }
+
+    fn through_link(
+        &mut self,
+        rng: &mut StdRng,
+        link: &LinkConfig,
+        bytes: u32,
+        queueing: SimDuration,
+    ) -> Outcome {
+        if link.drop_prob > 0.0 && rng.random::<f64>() < link.drop_prob {
+            self.dropped_loss += 1;
+            return Outcome::Drop(DropReason::Loss);
+        }
+        let mut delay = link.latency.sample(rng) + queueing;
+        if let Some(bw) = link.bandwidth_bytes_per_sec {
+            delay += SimDuration::from_nanos((bytes as u64).saturating_mul(1_000_000_000) / bw);
+        }
+        Outcome::Deliver(delay)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn constant_latency_is_constant() {
+        let l = Latency::Constant(SimDuration::from_millis(3));
+        let mut r = rng();
+        for _ in 0..10 {
+            assert_eq!(l.sample(&mut r), SimDuration::from_millis(3));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_range() {
+        let min = SimDuration::from_micros(100);
+        let max = SimDuration::from_micros(200);
+        let l = Latency::Uniform { min, max };
+        let mut r = rng();
+        for _ in 0..1000 {
+            let s = l.sample(&mut r);
+            assert!(s >= min && s <= max);
+        }
+    }
+
+    #[test]
+    fn normal_latency_respects_floor() {
+        let l = Latency::Normal {
+            mean: SimDuration::from_micros(100),
+            stddev: SimDuration::from_micros(100),
+            floor: SimDuration::from_micros(50),
+        };
+        let mut r = rng();
+        for _ in 0..1000 {
+            assert!(l.sample(&mut r) >= SimDuration::from_micros(50));
+        }
+    }
+
+    #[test]
+    fn normal_latency_mean_close() {
+        let l = Latency::Normal {
+            mean: SimDuration::from_micros(500),
+            stddev: SimDuration::from_micros(50),
+            floor: SimDuration::ZERO,
+        };
+        let mut r = rng();
+        let n = 5000u64;
+        let total: u64 = (0..n).map(|_| l.sample(&mut r).as_nanos()).sum();
+        let mean = total / n;
+        assert!((mean as i64 - 500_000).unsigned_abs() < 10_000, "mean={mean}");
+    }
+
+    #[test]
+    fn partition_drops_cross_group() {
+        let mut net = Network::new(NetworkConfig::ideal());
+        let mut r = rng();
+        net.set_partition_group(NodeId(1), 1);
+        let out = net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 100);
+        assert_eq!(out, Outcome::Drop(DropReason::Partition));
+        // Same group is fine.
+        let out = net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(2), 100);
+        assert!(matches!(out, Outcome::Deliver(_)));
+        net.heal_partitions();
+        let out = net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 100);
+        assert!(matches!(out, Outcome::Deliver(_)));
+    }
+
+    #[test]
+    fn local_messages_ignore_partitions() {
+        // Two processes on the same node keep talking even when the node is
+        // partitioned away from the rest of the LAN.
+        let mut net = Network::new(NetworkConfig::ideal());
+        let mut r = rng();
+        net.set_partition_group(NodeId(3), 9);
+        let out = net.route(&mut r, SimTime::ZERO, NodeId(3), NodeId(3), 64);
+        assert!(matches!(out, Outcome::Deliver(_)));
+    }
+
+    #[test]
+    fn pair_loss_applies() {
+        let mut net = Network::new(NetworkConfig::ideal());
+        let mut r = rng();
+        net.set_pair_loss(NodeId(0), NodeId(1), 1.0);
+        assert_eq!(
+            net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 10),
+            Outcome::Drop(DropReason::Loss)
+        );
+        // Reverse direction unaffected.
+        assert!(matches!(
+            net.route(&mut r, SimTime::ZERO, NodeId(1), NodeId(0), 10),
+            Outcome::Deliver(_)
+        ));
+        net.set_pair_loss(NodeId(0), NodeId(1), 0.0);
+        assert!(matches!(
+            net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 10),
+            Outcome::Deliver(_)
+        ));
+    }
+
+    #[test]
+    fn hub_serializes_back_to_back_frames() {
+        let mut cfg = NetworkConfig::ideal();
+        cfg.hub = Some(HubConfig {
+            bandwidth_bytes_per_sec: 1_000_000, // 1 MB/s: 1000 bytes = 1ms
+            per_frame_overhead: SimDuration::ZERO,
+        });
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        let d1 = match net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 1000) {
+            Outcome::Deliver(d) => d,
+            other => panic!("{other:?}"),
+        };
+        let d2 = match net.route(&mut r, SimTime::ZERO, NodeId(2), NodeId(3), 1000) {
+            Outcome::Deliver(d) => d,
+            other => panic!("{other:?}"),
+        };
+        // Second frame had to wait for the first one's transmission slot.
+        assert!(d2 > d1);
+        assert!(d2 - d1 >= SimDuration::from_micros(900));
+    }
+
+    #[test]
+    fn hub_idle_time_does_not_accumulate() {
+        let mut cfg = NetworkConfig::ideal();
+        cfg.hub = Some(HubConfig {
+            bandwidth_bytes_per_sec: 1_000_000,
+            per_frame_overhead: SimDuration::ZERO,
+        });
+        let mut net = Network::new(cfg);
+        let mut r = rng();
+        let _ = net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 1000);
+        // Much later the hub is long idle: no queueing delay.
+        let later = SimTime::ZERO + SimDuration::from_secs(1);
+        let d = match net.route(&mut r, later, NodeId(0), NodeId(1), 1000) {
+            Outcome::Deliver(d) => d,
+            other => panic!("{other:?}"),
+        };
+        assert!(d < SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn counters_track_traffic() {
+        let mut net = Network::new(NetworkConfig::lossy(1.0));
+        let mut r = rng();
+        let _ = net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 10);
+        assert_eq!(net.sent, 1);
+        assert_eq!(net.dropped_loss, 1);
+    }
+}

@@ -1,0 +1,147 @@
+//! Structured event trace for debugging and test assertions.
+//!
+//! Tracing is off by default (zero cost beyond a branch); tests and the
+//! failure-matrix harness enable it to assert on protocol behaviour.
+
+use crate::ids::{NodeId, ProcId};
+use crate::time::SimTime;
+use std::collections::VecDeque;
+
+/// One trace record.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[allow(missing_docs)] // fields are self-describing sender/receiver pairs
+pub enum TraceEvent {
+    /// A message was handed to the network.
+    Sent { from: ProcId, to: ProcId, bytes: u32 },
+    /// A message reached its destination process.
+    Delivered { from: ProcId, to: ProcId },
+    /// A message was dropped by the network model.
+    Dropped { from: ProcId, to: ProcId, reason: &'static str },
+    /// A process or node crashed.
+    Crashed { node: NodeId, proc: Option<ProcId> },
+    /// A node came back.
+    Revived { node: NodeId },
+    /// Partition membership changed.
+    Partitioned { node: NodeId, group: u32 },
+    /// Free-form note from a process (via `Ctx::trace`).
+    Note { proc: ProcId, text: String },
+}
+
+/// A timestamped trace record.
+#[derive(Clone, Debug)]
+pub struct TraceRecord {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened.
+    pub event: TraceEvent,
+}
+
+/// Bounded in-memory trace buffer.
+#[derive(Debug)]
+pub struct Trace {
+    enabled: bool,
+    capacity: usize,
+    records: VecDeque<TraceRecord>,
+    /// Total records ever pushed (including evicted ones).
+    pushed: u64,
+}
+
+impl Trace {
+    /// A disabled trace (records nothing).
+    pub fn disabled() -> Self {
+        Trace {
+            enabled: false,
+            capacity: 0,
+            records: VecDeque::new(),
+            pushed: 0,
+        }
+    }
+
+    /// An enabled trace keeping at most `capacity` most-recent records.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Trace {
+            enabled: true,
+            capacity,
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            pushed: 0,
+        }
+    }
+
+    /// Is recording on?
+    #[inline]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Record one event (no-op when disabled).
+    pub fn push(&mut self, at: SimTime, event: TraceEvent) {
+        if !self.enabled {
+            return;
+        }
+        self.pushed += 1;
+        if self.records.len() == self.capacity {
+            self.records.pop_front();
+        }
+        self.records.push_back(TraceRecord { at, event });
+    }
+
+    /// Records currently retained, oldest first.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Total number of records ever pushed.
+    pub fn total_pushed(&self) -> u64 {
+        self.pushed
+    }
+
+    /// Count retained records matching a predicate.
+    pub fn count(&self, mut pred: impl FnMut(&TraceEvent) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.event)).count()
+    }
+
+    /// Drop all retained records (counters keep running).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_records_nothing() {
+        let mut t = Trace::disabled();
+        t.push(SimTime::ZERO, TraceEvent::Revived { node: NodeId(0) });
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.total_pushed(), 0);
+    }
+
+    #[test]
+    fn ring_buffer_evicts_oldest() {
+        let mut t = Trace::with_capacity(2);
+        for i in 0..5u32 {
+            t.push(SimTime::ZERO, TraceEvent::Partitioned { node: NodeId(i), group: i });
+        }
+        assert_eq!(t.records().count(), 2);
+        assert_eq!(t.total_pushed(), 5);
+        let nodes: Vec<_> = t
+            .records()
+            .map(|r| match r.event {
+                TraceEvent::Partitioned { node, .. } => node.0,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(nodes, vec![3, 4]);
+    }
+
+    #[test]
+    fn count_filters() {
+        let mut t = Trace::with_capacity(16);
+        t.push(SimTime::ZERO, TraceEvent::Revived { node: NodeId(1) });
+        t.push(SimTime::ZERO, TraceEvent::Crashed { node: NodeId(1), proc: None });
+        t.push(SimTime::ZERO, TraceEvent::Revived { node: NodeId(2) });
+        assert_eq!(t.count(|e| matches!(e, TraceEvent::Revived { .. })), 2);
+    }
+}

@@ -1,0 +1,68 @@
+//! Rolling head-node maintenance with zero service downtime: drain one
+//! JOSHUA head at a time (voluntary leave), replace it with a fresh node
+//! that joins via state transfer, and keep a job stream flowing the whole
+//! time — the paper's head-node replacement scenario
+//! ("Replacement of failed head nodes or of head nodes that are about to
+//! fail allows to sustain and guarantee a certain availability").
+//!
+//! ```sh
+//! cargo run --example rolling_maintenance
+//! ```
+
+use joshua_repro::core::cluster::{Cluster, ClusterConfig, HaMode};
+use joshua_repro::core::{workload, JoshuaServer, LeaveCmd};
+use joshua_repro::sim::{SimDuration, SimTime};
+
+fn secs(s: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(s)
+}
+
+fn main() {
+    let mut cluster = Cluster::build(ClusterConfig::new(HaMode::Joshua { heads: 3 }));
+    // A long stream of work: 40 submissions, closed loop.
+    cluster.spawn_client(workload::burst(40));
+
+    // Maintenance window 1: drain head-1 at t=5s.
+    let h1 = cluster.heads[1];
+    cluster.world.schedule_at(secs(5), move |w| {
+        println!("-- maintenance: head-1 leaves gracefully");
+        w.inject(h1, LeaveCmd);
+    });
+    cluster.run_until(secs(30));
+
+    // Its replacement joins and receives state transfer.
+    println!("-- replacement head joins the group");
+    let replacement = cluster.add_joshua_head();
+    cluster.run_until(secs(60));
+    let r = cluster
+        .world
+        .proc_ref::<JoshuaServer>(replacement)
+        .expect("replacement alive");
+    println!(
+        "   replacement established: {}, snapshot installed: {}, jobs known: {}",
+        r.is_established(),
+        r.stats().snapshots_installed,
+        r.pbs().jobs_in_order().count()
+    );
+
+    // Maintenance window 2: now drain head-2.
+    let h2 = cluster.heads[2];
+    cluster.world.schedule_at(secs(61), move |w| {
+        println!("-- maintenance: head-2 leaves gracefully");
+        w.inject(h2, LeaveCmd);
+    });
+    cluster.run_until(secs(90));
+    println!("-- second replacement joins");
+    let _ = cluster.add_joshua_head();
+    cluster.run_until(secs(300));
+
+    let records = cluster.take_records();
+    println!();
+    println!("job stream: {}/40 submissions answered", records.len());
+    println!("real executions: {}/40", cluster.total_real_runs());
+    let heads = cluster.assert_replicas_consistent();
+    println!("surviving established heads in agreement: {heads}");
+    assert_eq!(records.len(), 40, "maintenance must not drop service");
+    assert_eq!(cluster.total_real_runs(), 40);
+    println!("rolling maintenance completed with zero service downtime ✓");
+}

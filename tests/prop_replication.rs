@@ -1,0 +1,64 @@
+//! Property-based test over the full stack: for random workloads and
+//! random single-crash schedules, the JOSHUA cluster must preserve the
+//! paper's invariants —
+//!
+//! 1. every submission from the (failover-capable) client is answered;
+//! 2. every accepted job executes exactly once;
+//! 3. all surviving established replicas hold consistent state.
+
+use joshua_repro::core::cluster::{Cluster, ClusterConfig, HaMode};
+use joshua_repro::core::workload;
+use joshua_repro::sim::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn secs_ms(ms: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_millis(ms)
+}
+
+proptest! {
+    // Full-cluster runs are costly; keep the case count modest but the
+    // schedule space wide.
+    #![proptest_config(ProptestConfig { cases: 12, ..ProptestConfig::default() })]
+
+    #[test]
+    fn joshua_invariants_hold_under_random_crashes(
+        heads in 2usize..5,
+        jobs in 3usize..15,
+        seed in 0u64..1000,
+        crash_victim in 0usize..4,
+        crash_at_ms in 200u64..8_000,
+    ) {
+        let mut cfg = ClusterConfig::new(HaMode::Joshua { heads });
+        cfg.seed = seed;
+        let mut c = Cluster::build(cfg);
+        c.spawn_client(workload::burst(jobs));
+        let victim = crash_victim % heads;
+        // Never crash the last survivor's predecessors all at once — one
+        // crash per run keeps at least one head alive for any `heads`.
+        let node = c.head_nodes[victim];
+        c.world.schedule_at(secs_ms(crash_at_ms), move |w| w.crash_node(node));
+        c.run_until(SimTime::ZERO + SimDuration::from_secs((jobs as u64 + 40) * 6));
+
+        let records = c.take_records();
+        prop_assert_eq!(records.len(), jobs, "lost client commands");
+        prop_assert_eq!(c.total_real_runs(), jobs as u64, "not exactly-once");
+        let consistent = c.assert_replicas_consistent();
+        prop_assert!(consistent >= heads - 1, "survivors missing: {}", consistent);
+    }
+
+    #[test]
+    fn mixed_workload_replicas_agree(
+        heads in 2usize..4,
+        n in 5usize..25,
+        wseed in 0u64..500,
+    ) {
+        let mut cfg = ClusterConfig::new(HaMode::Joshua { heads });
+        cfg.seed = wseed.wrapping_mul(31).wrapping_add(7);
+        let mut c = Cluster::build(cfg);
+        c.spawn_client(workload::mixed(n, wseed));
+        c.run_until(SimTime::ZERO + SimDuration::from_secs((n as u64 + 20) * 6));
+        let records = c.take_records();
+        prop_assert_eq!(records.len(), n);
+        prop_assert_eq!(c.assert_replicas_consistent(), heads);
+    }
+}
