@@ -134,15 +134,14 @@ pub fn run(cfg: &McConfig) -> McResult {
         vec![run_trial(cfg, cfg.seed)]
     } else {
         let mut results = vec![(0.0, 0); cfg.trials as usize];
-        crossbeam::thread::scope(|s| {
+        std::thread::scope(|s| {
             for (i, slot) in results.iter_mut().enumerate() {
                 let cfg = *cfg;
-                s.spawn(move |_| {
+                s.spawn(move || {
                     *slot = run_trial(&cfg, cfg.seed.wrapping_add(i as u64 * 7919));
                 });
             }
-        })
-        .expect("monte carlo threads");
+        });
         results
     };
     let total_hours = cfg.span_hours * cfg.trials.max(1) as f64;

@@ -1,0 +1,137 @@
+//! `jrs-detlint` — determinism/robustness lint for the JOSHUA
+//! workspace.
+//!
+//! JOSHUA's correctness argument (PAPER.md §3) is that every head node
+//! applies the same totally ordered command stream to a
+//! **deterministic** state machine, so all replicas remain
+//! byte-identical. The compiler cannot check that premise; this crate
+//! does, statically, with a zero-dependency line/token scanner that
+//! walks every `.rs` file under the workspace's `src/` trees and
+//! enforces the rule set in [`rules::RULES`]:
+//!
+//! * **D001** — no `HashMap`/`HashSet` in replicated-state crates;
+//! * **D002** — no `SystemTime::now`/`Instant::now` outside the
+//!   simulator and bench harness;
+//! * **D003** — no ambient RNG (`thread_rng`, `rand::random`, OS
+//!   entropy);
+//! * **D004** — no `f32`/`f64` fields in replicated-state types;
+//! * **P001** — no `unwrap`/`expect`/`panic!` in the GCS delivery hot
+//!   path;
+//! * **SUPP** — suppression pragmas must justify themselves.
+//!
+//! Violations can be waived inline with
+//! `// detlint: allow(D001): <reason>` on the offending line or the
+//! line above it, and per crate through the exemption table in
+//! [`rules::EXEMPTIONS`].
+//!
+//! Run it three ways:
+//!
+//! * `cargo run -p jrs-detlint -- check` — CI/CLI entry, file:line
+//!   diagnostics, nonzero exit on violations;
+//! * the root crate's `tests/detlint_gate.rs` — `cargo test` enforces
+//!   it;
+//! * [`check_workspace`] — library API for both of the above.
+//!
+//! ## Scope and limitations
+//!
+//! The scanner strips comments, string literals, and char literals
+//! before matching, tracks trailing `#[cfg(test)]` modules (exempt),
+//! and only visits files under a `src/` directory — integration
+//! tests, benches, and examples are harness code, not replica state.
+//! It is a token scanner, not a type checker: renaming imports
+//! (`use std::collections::HashMap as Map`) can evade it. That is
+//! acceptable — the lint exists to catch the accidental 2am case, and
+//! deliberate evasion is what code review is for.
+
+pub mod rules;
+pub mod scanner;
+
+pub use rules::{FileOrigin, Rule, Violation, EXEMPTIONS, RULES};
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Outcome of a whole-workspace check.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All violations found, in path/line order.
+    pub violations: Vec<Violation>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl Report {
+    /// Did the workspace pass?
+    pub fn clean(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Lint one file's source text (the unit the fixture tests drive).
+pub fn check_source(rel_path: &str, source: &str) -> Vec<Violation> {
+    let origin = FileOrigin::classify(rel_path);
+    let clean = scanner::preprocess(source);
+    rules::scan(&origin, &clean)
+}
+
+/// Walk the workspace rooted at `root` and lint every `src/**/*.rs`.
+pub fn check_workspace(root: &Path) -> io::Result<Report> {
+    let mut files = Vec::new();
+    collect_rs_files(root, root, &mut files)?;
+    files.sort();
+
+    let mut report = Report::default();
+    for rel in files {
+        let text = fs::read_to_string(root.join(&rel))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_else(|| rel.to_string_lossy().into_owned());
+        report.violations.extend(check_source(&rel_str, &text));
+        report.files_scanned += 1;
+    }
+    report
+        .violations
+        .sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    Ok(report)
+}
+
+/// Recursively collect `.rs` files that live under a `src/` directory,
+/// skipping VCS metadata and build output.
+fn collect_rs_files(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs_files(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            if rel.components().any(|c| c.as_os_str() == "src") {
+                out.push(rel.to_path_buf());
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Locate the workspace root: walk up from `start` to the first
+/// directory whose `Cargo.toml` declares `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return Some(dir.to_path_buf());
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}

@@ -1,0 +1,99 @@
+//! CLI for the determinism lint: `cargo run -p jrs-detlint -- check`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "jrs-detlint — determinism/robustness lint for the JOSHUA workspace
+
+USAGE:
+    jrs-detlint check [--root <dir>]   lint every src/**/*.rs; exit 1 on violations
+    jrs-detlint rules                  print the rule table and per-crate exemptions
+
+Suppress a finding inline with `// detlint: allow(D001): <reason>` on the
+offending line or the line above it."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match jrs_detlint::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "jrs-detlint: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    match jrs_detlint::check_workspace(&root) {
+        Ok(report) => {
+            for v in &report.violations {
+                println!("{v}");
+            }
+            if report.clean() {
+                println!(
+                    "detlint: OK — {} files scanned, 0 violations",
+                    report.files_scanned
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "detlint: FAILED — {} violation(s) in {} files scanned \
+                     (run `cargo run -p jrs-detlint -- rules` for rationale)",
+                    report.violations.len(),
+                    report.files_scanned
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("jrs-detlint: I/O error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_rules() {
+    println!("detlint rule set (replica-state-machine invariants)\n");
+    for r in jrs_detlint::RULES {
+        println!("{}  {}", r.code, r.summary);
+        println!("      why: {}\n", r.why);
+    }
+    println!("per-crate exemptions:");
+    for (krate, rule, why) in jrs_detlint::EXEMPTIONS {
+        println!("  {krate}: {rule} — {why}");
+    }
+}

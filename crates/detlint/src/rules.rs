@@ -1,0 +1,472 @@
+//! Rule definitions, per-crate scoping, and the exemption table.
+//!
+//! The rule set encodes the premise of symmetric active/active
+//! replication (PAPER.md §3): every head node applies the same totally
+//! ordered command stream to a **deterministic** state machine, so all
+//! replicas stay byte-identical. Each rule bans one class of
+//! nondeterminism (or fragility) that would silently break that
+//! premise.
+
+use crate::scanner::{has_token, token_position, CleanSource};
+
+/// One diagnostic produced by the lint.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// Rule code, e.g. `D001`.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Human-readable description of what tripped and how to fix it.
+    pub message: String,
+}
+
+impl std::fmt::Display for Violation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}: {}: {}", self.path, self.line, self.rule, self.message)
+    }
+}
+
+/// Crates whose library code *is* the replicated state machine (or
+/// feeds it): the strictest rules apply here.
+pub const REPLICATED_CRATES: &[&str] = &["gcs", "pbs", "core", "joshua-repro"];
+
+/// Files forming the GCS delivery hot path: total-order engines and the
+/// reliable link layer. A panic here kills a replica on the very code
+/// path that must instead degrade and recover via a view change.
+pub const HOT_PATH_FILES: &[&str] =
+    &["crates/gcs/src/engine.rs", "crates/gcs/src/link.rs"];
+
+/// Per-crate exemptions, with the justification the rule's docs demand.
+/// Consulted after a rule's base scope: `(crate, rule, why)`.
+pub const EXEMPTIONS: &[(&str, &str, &str)] = &[
+    (
+        "sim",
+        "D002",
+        "the simulator owns virtual time; it is the layer that keeps wall-clock out of everything else",
+    ),
+    (
+        "bench",
+        "D002",
+        "the experiment harness measures real wall-clock by definition and never runs inside a replica",
+    ),
+    (
+        "availability",
+        "D004",
+        "availability math (MTTF/MTTR, Monte Carlo) is floating-point by nature and is analysis output, not replicated state",
+    ),
+    (
+        "shim-rand",
+        "D003",
+        "the vendored rand shim is the seeded RNG implementation itself",
+    ),
+    (
+        "shim-criterion",
+        "D002",
+        "the vendored criterion shim is a wall-clock measurement harness",
+    ),
+    (
+        "shim-proptest",
+        "D003",
+        "the vendored proptest shim derives seeds from test names; it is below the replicated layer",
+    ),
+];
+
+/// Static description of one rule (also printed by `jrs-detlint rules`).
+pub struct Rule {
+    pub code: &'static str,
+    pub summary: &'static str,
+    pub why: &'static str,
+}
+
+/// The rule table, in check order.
+pub const RULES: &[Rule] = &[
+    Rule {
+        code: "D001",
+        summary: "no HashMap/HashSet in replicated-state crates (gcs, pbs, core, root) — use BTreeMap/BTreeSet or an explicitly sorted snapshot",
+        why: "std hash maps are seeded per-process (SipHash with random keys); iterating one inside the apply path gives every replica a different order, and any order-dependent effect (snapshot digests, tie-breaking, message emission order) silently diverges",
+    },
+    Rule {
+        code: "D002",
+        summary: "no SystemTime::now / Instant::now outside crates/sim and the bench harness — replicated code takes SimTime from the kernel",
+        why: "wall-clock reads differ across replicas by definition; any branch or stored field derived from one makes state a function of *which machine* applied the command, not just the command stream",
+    },
+    Rule {
+        code: "D003",
+        summary: "no thread_rng / rand::random / OS entropy — randomness must flow from an explicit seed in the sim/cluster config",
+        why: "ambient RNG draws a different stream in every process; a replicated decision made on one (backoff jitter, tie-breaking, sampling) forks the state machines",
+    },
+    Rule {
+        code: "D004",
+        summary: "no f32/f64 fields in replicated-state structs/enums (gcs, pbs, core, root; the availability crate is exempt)",
+        why: "floating-point accumulation order and platform rounding are not bit-stable guarantees; integer nanoseconds / counts keep snapshot comparison exact (store floats only in analysis/metrics code)",
+    },
+    Rule {
+        code: "P001",
+        summary: "no unwrap/expect/panic!/unreachable!/todo! in the GCS delivery hot path (engine.rs, link.rs) — degrade and let the view change recover",
+        why: "a panic on the delivery path turns a protocol hiccup into a replica death, which is exactly the failure JOSHUA exists to mask; debug_assert! is permitted (compiled out in release) for developer-time signal",
+    },
+    Rule {
+        code: "SUPP",
+        summary: "every `// detlint: allow(...)` pragma must carry a justification after a trailing colon",
+        why: "an unexplained suppression is indistinguishable from a silenced bug; the justification is what reviewers audit",
+    },
+];
+
+/// Where a file sits for scoping purposes.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FileOrigin {
+    /// Short crate key: `gcs`, `pbs`, `core`, `sim`, `availability`,
+    /// `bench`, `detlint`, `joshua-repro` (root `src/`), or
+    /// `shim-<name>`.
+    pub crate_key: String,
+    /// Workspace-relative path with `/` separators.
+    pub rel_path: String,
+}
+
+impl FileOrigin {
+    /// Classify a workspace-relative path.
+    pub fn classify(rel_path: &str) -> FileOrigin {
+        let rel = rel_path.replace('\\', "/");
+        let parts: Vec<&str> = rel.split('/').collect();
+        let crate_key = match parts.as_slice() {
+            ["crates", name, ..] => (*name).to_string(),
+            ["shims", name, ..] => format!("shim-{name}"),
+            ["src", ..] => "joshua-repro".to_string(),
+            _ => "joshua-repro".to_string(),
+        };
+        FileOrigin { crate_key, rel_path: rel }
+    }
+
+    fn exempt(&self, rule: &str) -> bool {
+        EXEMPTIONS
+            .iter()
+            .any(|(c, r, _)| *c == self.crate_key && *r == rule)
+    }
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    clean: &CleanSource,
+    origin: &FileOrigin,
+    rule: &'static str,
+    line: usize,
+    message: String,
+) {
+    if clean.suppressed(rule, line).is_none() {
+        out.push(Violation { rule, path: origin.rel_path.clone(), line, message });
+    }
+}
+
+/// Run every applicable rule over one preprocessed file.
+pub fn scan(origin: &FileOrigin, clean: &CleanSource) -> Vec<Violation> {
+    let mut out = Vec::new();
+    let test_start = clean.test_module_start().unwrap_or(usize::MAX);
+
+    let d001 = REPLICATED_CRATES.contains(&origin.crate_key.as_str())
+        && !origin.exempt("D001");
+    let d002 = !origin.exempt("D002");
+    let d003 = !origin.exempt("D003");
+    let d004 = REPLICATED_CRATES.contains(&origin.crate_key.as_str())
+        && !origin.exempt("D004");
+    let p001 = HOT_PATH_FILES.contains(&origin.rel_path.as_str())
+        && !origin.exempt("P001");
+
+    // Brace-tracked struct/enum bodies for D004.
+    let mut type_body_depth: Option<i64> = None;
+
+    for (idx, line) in clean.code_lines.iter().enumerate() {
+        let lineno = idx + 1;
+        if lineno >= test_start {
+            break; // trailing #[cfg(test)] module: out of scope
+        }
+
+        if d001 {
+            for word in ["HashMap", "HashSet"] {
+                if has_token(line, word) {
+                    let alt = if word == "HashMap" { "BTreeMap" } else { "BTreeSet" };
+                    push(
+                        &mut out,
+                        clean,
+                        origin,
+                        "D001",
+                        lineno,
+                        format!(
+                            "`{word}` in a replicated-state crate: iteration order is \
+                             per-process; use `{alt}` (or sort before iterating)"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if d002 {
+            for call in ["SystemTime::now", "Instant::now"] {
+                if contains_call(line, call) {
+                    push(
+                        &mut out,
+                        clean,
+                        origin,
+                        "D002",
+                        lineno,
+                        format!(
+                            "`{call}` reads wall-clock: replicated code must take \
+                             virtual `SimTime` from the simulation kernel"
+                        ),
+                    );
+                }
+            }
+        }
+
+        if d003 {
+            for word in ["thread_rng", "from_entropy", "from_os_rng", "OsRng", "getrandom"] {
+                if has_token(line, word) {
+                    push(
+                        &mut out,
+                        clean,
+                        origin,
+                        "D003",
+                        lineno,
+                        format!(
+                            "`{word}` draws ambient entropy: seed an `StdRng` from the \
+                             sim/cluster config instead"
+                        ),
+                    );
+                }
+            }
+            if contains_call(line, "rand::random") {
+                push(
+                    &mut out,
+                    clean,
+                    origin,
+                    "D003",
+                    lineno,
+                    "`rand::random` uses the thread-local generator: seed an `StdRng` \
+                     from the sim/cluster config instead"
+                        .to_string(),
+                );
+            }
+        }
+
+        if d004 {
+            let opens_type = (has_token(line, "struct") || has_token(line, "enum"))
+                && !line.trim_start().starts_with("use ");
+            if let Some(depth) = type_body_depth.as_mut() {
+                *depth += brace_delta(line);
+                if float_field(line) {
+                    push(
+                        &mut out,
+                        clean,
+                        origin,
+                        "D004",
+                        lineno,
+                        "floating-point field in replicated-state type: rounding and \
+                         accumulation order are not replica-stable; store integer \
+                         nanoseconds/counts (availability crate is exempt)"
+                            .to_string(),
+                    );
+                }
+                if *depth <= 0 {
+                    type_body_depth = None;
+                }
+            } else if opens_type {
+                // Single-line definitions (tuple structs) are checked
+                // immediately; block definitions are tracked by depth.
+                if float_field(line) {
+                    push(
+                        &mut out,
+                        clean,
+                        origin,
+                        "D004",
+                        lineno,
+                        "floating-point field in replicated-state type: rounding and \
+                         accumulation order are not replica-stable; store integer \
+                         nanoseconds/counts (availability crate is exempt)"
+                            .to_string(),
+                    );
+                }
+                let delta = brace_delta(line);
+                if delta > 0 {
+                    type_body_depth = Some(delta);
+                }
+            }
+        }
+
+        if p001 {
+            for (pat, what) in [
+                (".unwrap()", "unwrap"),
+                (".expect(", "expect"),
+                ("panic!", "panic!"),
+                ("unreachable!", "unreachable!"),
+                ("todo!", "todo!"),
+                ("unimplemented!", "unimplemented!"),
+            ] {
+                let hit = if pat.ends_with('!') {
+                    has_token(line, what.trim_end_matches('!'))
+                        && line.contains(pat)
+                } else {
+                    line.contains(pat)
+                };
+                if hit {
+                    push(
+                        &mut out,
+                        clean,
+                        origin,
+                        "P001",
+                        lineno,
+                        format!(
+                            "`{what}` in the GCS delivery hot path: a replica must \
+                             degrade (skip/buffer/rejoin), not die; use `let-else` \
+                             with a graceful fallback (debug_assert! is fine)"
+                        ),
+                    );
+                }
+            }
+        }
+    }
+
+    // SUPP: pragmas must justify themselves, and must actually match a
+    // known rule code. Pragmas inside trailing test modules are out of
+    // scope, like everything else there.
+    for pragma in clean.pragmas.iter().filter(|p| p.line < test_start) {
+        if pragma.reason.is_empty() {
+            out.push(Violation {
+                rule: "SUPP",
+                path: origin.rel_path.clone(),
+                line: pragma.line,
+                message: format!(
+                    "suppression of {} without justification: write \
+                     `// detlint: allow({}): <why this is sound>`",
+                    pragma.rules.join(", "),
+                    pragma.rules.join(", "),
+                ),
+            });
+        }
+        for r in &pragma.rules {
+            if !RULES.iter().any(|known| known.code == *r) {
+                out.push(Violation {
+                    rule: "SUPP",
+                    path: origin.rel_path.clone(),
+                    line: pragma.line,
+                    message: format!("suppression names unknown rule `{r}`"),
+                });
+            }
+        }
+    }
+
+    out
+}
+
+/// Match `path::segments` as a call-ish token sequence, tolerating no
+/// internal whitespace (the formatter never inserts any).
+fn contains_call(line: &str, call: &str) -> bool {
+    let head = call.split("::").next().unwrap_or(call);
+    let mut from = 0;
+    while let Some(at) = token_position(&line[from..], head) {
+        let abs = from + at;
+        if line[abs..].starts_with(call) {
+            // Reject longer-identifier tails, e.g. `Instant::nowhere`.
+            let after = line[abs + call.len()..].chars().next();
+            if !after.is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                return true;
+            }
+        }
+        from = abs + head.len();
+        if from >= line.len() {
+            break;
+        }
+    }
+    false
+}
+
+fn brace_delta(line: &str) -> i64 {
+    let mut d = 0;
+    for c in line.chars() {
+        match c {
+            '{' => d += 1,
+            '}' => d -= 1,
+            _ => {}
+        }
+    }
+    d
+}
+
+/// Does a (cleaned) line inside a type body mention a float type token?
+fn float_field(line: &str) -> bool {
+    has_token(line, "f32") || has_token(line, "f64")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scanner::preprocess;
+
+    fn scan_str(path: &str, src: &str) -> Vec<Violation> {
+        let origin = FileOrigin::classify(path);
+        scan(&origin, &preprocess(src))
+    }
+
+    #[test]
+    fn classify_paths() {
+        assert_eq!(FileOrigin::classify("crates/gcs/src/engine.rs").crate_key, "gcs");
+        assert_eq!(FileOrigin::classify("shims/rand/src/lib.rs").crate_key, "shim-rand");
+        assert_eq!(FileOrigin::classify("src/lib.rs").crate_key, "joshua-repro");
+    }
+
+    #[test]
+    fn d001_scoped_to_replicated_crates() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(scan_str("crates/gcs/src/x.rs", src).len(), 1);
+        assert_eq!(scan_str("crates/pbs/src/x.rs", src).len(), 1);
+        assert!(scan_str("crates/sim/src/x.rs", src).is_empty());
+        assert!(scan_str("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d002_exempts_sim_and_bench() {
+        let src = "let t = Instant::now();\n";
+        assert_eq!(scan_str("crates/core/src/x.rs", src).len(), 1);
+        assert!(scan_str("crates/sim/src/x.rs", src).is_empty());
+        assert!(scan_str("crates/bench/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d004_only_fires_inside_type_bodies() {
+        let body = "struct Replica {\n    score: f64,\n}\nfn f(x: f64) -> f64 { x }\n";
+        let v = scan_str("crates/pbs/src/x.rs", body);
+        assert_eq!(v.len(), 1, "{v:?}");
+        assert_eq!(v[0].line, 2);
+        assert!(scan_str("crates/availability/src/x.rs", body).is_empty());
+    }
+
+    #[test]
+    fn p001_limited_to_hot_path_files() {
+        let src = "let x = m.get(&k).unwrap();\n";
+        assert_eq!(scan_str("crates/gcs/src/engine.rs", src).len(), 1);
+        assert!(scan_str("crates/gcs/src/view.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_with_reason_is_honoured() {
+        let src = "use std::collections::HashMap; // detlint: allow(D001): lookup-only\n";
+        assert!(scan_str("crates/gcs/src/x.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_without_reason_is_flagged() {
+        let src = "use std::collections::HashMap; // detlint: allow(D001)\n";
+        let v = scan_str("crates/gcs/src/x.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "SUPP").count(), 1);
+        // The D001 itself is still suppressed — the pragma applies, it
+        // is just required to explain itself.
+        assert!(v.iter().all(|v| v.rule != "D001"));
+    }
+
+    #[test]
+    fn instant_nowhere_is_not_a_call() {
+        assert!(!contains_call("let x = Instant::nowhere();", "Instant::now"));
+        assert!(contains_call("let x = Instant::now();", "Instant::now"));
+        assert!(contains_call("std::time::Instant::now()", "Instant::now"));
+    }
+}

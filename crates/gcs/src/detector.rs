@@ -5,16 +5,19 @@
 //! suspicion is treated as a fact and triggers a membership change.
 
 use jrs_sim::{ProcId, SimDuration, SimTime};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Tracks last-heard times for a set of watched peers.
+///
+/// Ordered maps so iteration (e.g. [`FailureDetector::suspects`]) is
+/// deterministic across replicas (detlint D001).
 #[derive(Debug)]
 pub struct FailureDetector {
     fail_after: SimDuration,
-    last_heard: HashMap<ProcId, SimTime>,
+    last_heard: BTreeMap<ProcId, SimTime>,
     /// Peers declared failed out of band (voluntary leave, stalled flush
     /// coordinator). Cleared by any subsequent life sign.
-    condemned: HashSet<ProcId>,
+    condemned: BTreeSet<ProcId>,
 }
 
 impl FailureDetector {
@@ -22,8 +25,8 @@ impl FailureDetector {
     pub fn new(fail_after: SimDuration) -> Self {
         FailureDetector {
             fail_after,
-            last_heard: HashMap::new(),
-            condemned: HashSet::new(),
+            last_heard: BTreeMap::new(),
+            condemned: BTreeSet::new(),
         }
     }
 
@@ -67,16 +70,14 @@ impl FailureDetector {
         }
     }
 
-    /// All watched peers currently suspected, sorted for determinism.
+    /// All watched peers currently suspected, in `ProcId` order (the
+    /// map's iteration order — no explicit sort needed).
     pub fn suspects(&self, now: SimTime) -> Vec<ProcId> {
-        let mut v: Vec<ProcId> = self
-            .last_heard
+        self.last_heard
             .iter()
             .filter(|(&p, &t)| self.condemned.contains(&p) || now.since(t) >= self.fail_after)
             .map(|(&p, _)| p)
-            .collect();
-        v.sort_unstable();
-        v
+            .collect()
     }
 
     /// All watched peers.

@@ -24,7 +24,7 @@
 
 use crate::msg::{EngineMsg, FlushDigest, OrderedMsg};
 use jrs_sim::{ProcId, SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// What an engine wants done after handling a stimulus.
 #[derive(Debug)]
@@ -73,7 +73,9 @@ struct Core<P> {
     /// Next sequence number to deliver to the application.
     deliver_cursor: u64,
     /// Cumulative ack per peer: highest seq that peer holds contiguously.
-    acks: HashMap<ProcId, u64>,
+    /// `BTreeMap` (not `HashMap`): snapshots and iteration of replica
+    /// state must be deterministic across processes (detlint D001).
+    acks: BTreeMap<ProcId, u64>,
     /// Known ordered messages (delivered and buffered), pruned by
     /// stability. Needed to answer flushes and serve deliveries.
     log: BTreeMap<u64, OrderedMsg<P>>,
@@ -81,11 +83,12 @@ struct Core<P> {
     pending: VecDeque<(u64, P)>,
     next_local_id: u64,
     /// Per-origin highest *delivered* local id (duplicate suppression
-    /// floor, merged through flushes).
-    dedup: HashMap<ProcId, u64>,
+    /// floor, merged through flushes). Ordered so flush digests list
+    /// origins identically on every replica.
+    dedup: BTreeMap<ProcId, u64>,
     /// Per-origin highest *assigned* local id (assigner-side duplicate
     /// suppression between assignment and delivery).
-    assign_floor: HashMap<ProcId, u64>,
+    assign_floor: BTreeMap<ProcId, u64>,
     /// False while a view change is in progress.
     active: bool,
 }
@@ -99,12 +102,12 @@ impl<P: Clone> Core<P> {
             members: Vec::new(),
             recv_cursor: 1,
             deliver_cursor: 1,
-            acks: HashMap::new(),
+            acks: BTreeMap::new(),
             log: BTreeMap::new(),
             pending: VecDeque::new(),
             next_local_id: 1,
-            dedup: HashMap::new(),
-            assign_floor: HashMap::new(),
+            dedup: BTreeMap::new(),
+            assign_floor: BTreeMap::new(),
             active: false,
         }
     }
@@ -166,11 +169,14 @@ impl<P: Clone> Core<P> {
         let limit = self.stable();
         let mut out = Vec::new();
         while self.deliver_cursor <= limit {
-            let m = self
-                .log
-                .get(&self.deliver_cursor)
-                .expect("stable prefix must be in the log")
-                .clone();
+            // The stable prefix is received-contiguous, so the log must
+            // hold it. If an invariant breach ever leaves a gap, stop
+            // delivering and wait — the next flush reconciles the log —
+            // rather than killing the replica on its hot path (P001).
+            let Some(m) = self.log.get(&self.deliver_cursor).cloned() else {
+                debug_assert!(false, "stable prefix missing from the log");
+                break;
+            };
             self.note_delivered(&m);
             self.deliver_cursor += 1;
             out.push(m);
@@ -210,12 +216,9 @@ impl<P: Clone> Core<P> {
                 .range(coord_known + 1..)
                 .map(|(_, m)| m.clone())
                 .collect(),
-            dedup: {
-                let mut d: Vec<(ProcId, u64)> =
-                    self.dedup.iter().map(|(&p, &l)| (p, l)).collect();
-                d.sort_unstable();
-                d
-            },
+            // Already in ascending origin order (BTreeMap), so every
+            // replica serialises the same digest bytes.
+            dedup: self.dedup.iter().map(|(&p, &l)| (p, l)).collect(),
         }
     }
 
@@ -319,7 +322,7 @@ pub struct SeqEngine<P> {
     /// (lower local id) request from the same origin. Origins submit with
     /// gap-free local ids, so ordering strictly in local-id order keeps
     /// per-origin FIFO even when a request is lost and retried.
-    waiting: HashMap<ProcId, BTreeMap<u64, P>>,
+    waiting: BTreeMap<ProcId, BTreeMap<u64, P>>,
     /// When pendings were last (re)requested.
     last_request: SimTime,
     retry_every: SimDuration,
@@ -368,7 +371,7 @@ impl<P: Clone> Engine<P> {
             crate::config::EngineKind::Sequencer => Engine::Seq(SeqEngine {
                 core: Core::new(me),
                 stable_dirty: false,
-                waiting: HashMap::new(),
+                waiting: BTreeMap::new(),
                 last_request: SimTime::ZERO,
                 retry_every,
             }),
@@ -654,23 +657,27 @@ impl<P: Clone> Core<P> {
 }
 
 impl<P: Clone> SeqEngine<P> {
-    fn sequencer(&self) -> ProcId {
-        *self.core.members.first().expect("installed view is non-empty")
+    /// Rank-0 member of the installed view; `None` before any install
+    /// (submissions stay pending until one happens).
+    fn sequencer(&self) -> Option<ProcId> {
+        self.core.members.first().copied()
     }
 
     fn order_or_request(&mut self, local_id: u64, payload: P) -> EngineOut<P> {
-        if self.sequencer() == self.core.me {
-            self.order(self.core.me, local_id, payload)
-        } else {
-            EngineOut {
-                sends: vec![(self.sequencer(), EngineMsg::Request { local_id, payload })],
+        match self.sequencer() {
+            Some(seq) if seq == self.core.me => self.order(self.core.me, local_id, payload),
+            Some(seq) => EngineOut {
+                sends: vec![(seq, EngineMsg::Request { local_id, payload })],
                 deliver: vec![],
-            }
+            },
+            // No installed view yet: keep the submission pending; it is
+            // resubmitted on the next install.
+            None => EngineOut::default(),
         }
     }
 
     fn on_request(&mut self, from: ProcId, local_id: u64, payload: P) -> EngineOut<P> {
-        if self.sequencer() != self.core.me {
+        if self.sequencer() != Some(self.core.me) {
             // Stale request routed to a former sequencer: the origin will
             // resubmit after the next install; drop.
             return EngineOut::default();
@@ -741,15 +748,13 @@ impl<P: Clone> SeqEngine<P> {
 }
 
 impl<P: Clone> TokenEngine<P> {
-    fn successor(&self) -> ProcId {
+    /// Next member in rank order after us; `None` if we are not in the
+    /// installed view (e.g. mid-ejection) — the token is then held
+    /// rather than sent into the void.
+    fn successor(&self) -> Option<ProcId> {
         let me = self.core.me;
-        let idx = self
-            .core
-            .members
-            .iter()
-            .position(|&p| p == me)
-            .expect("member of installed view");
-        self.core.members[(idx + 1) % self.core.members.len()]
+        let idx = self.core.members.iter().position(|&p| p == me)?;
+        Some(self.core.members[(idx + 1) % self.core.members.len()])
     }
 
     fn on_token(&mut self, now: SimTime, next_seq: u64) -> EngineOut<P> {
@@ -808,8 +813,14 @@ impl<P: Clone> TokenEngine<P> {
             self.holding = Some(next_seq);
             return EngineOut::default();
         }
+        let Some(succ) = self.successor() else {
+            // Not in the installed view: keep the token; the next
+            // install either reseats us or seeds a fresh token.
+            self.holding = Some(next_seq);
+            return EngineOut::default();
+        };
         EngineOut {
-            sends: vec![(self.successor(), EngineMsg::Token { next_seq, idle_hops: 0 })],
+            sends: vec![(succ, EngineMsg::Token { next_seq, idle_hops: 0 })],
             deliver: vec![],
         }
     }

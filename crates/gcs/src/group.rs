@@ -37,7 +37,7 @@ use crate::link::LinkManager;
 use crate::msg::{Epoch, FlushDigest, GcsMsg, OrderedMsg, Wire};
 use crate::view::{View, ViewId};
 use jrs_sim::{ProcId, SimTime};
-use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// Upcalls from the group to the embedding application.
 #[derive(Clone, Debug)]
@@ -152,10 +152,11 @@ pub struct GroupMember<P> {
     max_epoch_seen: Option<Epoch>,
     /// Joiners we know about: joiner → incarnation.
     pending_joiners: BTreeMap<ProcId, u64>,
-    /// Highest join incarnation seen per process.
-    join_incarnations: HashMap<ProcId, u64>,
+    /// Highest join incarnation seen per process. Ordered map: this is
+    /// replicated view-bookkeeping state (detlint D001).
+    join_incarnations: BTreeMap<ProcId, u64>,
     /// What each view member has contiguously delivered (stability/GC).
-    peer_delivered: HashMap<ProcId, u64>,
+    peer_delivered: BTreeMap<ProcId, u64>,
     /// Former members (left our view but may still be alive, e.g. the
     /// other side of a healed partition). Probed occasionally so split
     /// components re-merge.
@@ -205,8 +206,8 @@ impl<P: Clone + 'static> GroupMember<P> {
             flush: Flush::None,
             max_epoch_seen: None,
             pending_joiners: BTreeMap::new(),
-            join_incarnations: HashMap::new(),
-            peer_delivered: HashMap::new(),
+            join_incarnations: BTreeMap::new(),
+            peer_delivered: BTreeMap::new(),
             former_members: std::collections::BTreeSet::new(),
             last_hb: None,
             last_probe: None,

@@ -9,7 +9,7 @@
 
 use crate::msg::{GcsMsg, Wire};
 use jrs_sim::{ProcId, SimDuration, SimTime};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 
 struct OutLink<P> {
     next_seq: u64,
@@ -36,11 +36,13 @@ impl<P> Default for InLink<P> {
     }
 }
 
-/// All reliable links of one member, keyed by peer.
+/// All reliable links of one member, keyed by peer. Ordered maps so
+/// retransmission scans walk peers in a deterministic order (detlint
+/// D001).
 pub struct LinkManager<P> {
     rto: SimDuration,
-    out: HashMap<ProcId, OutLink<P>>,
-    inc: HashMap<ProcId, InLink<P>>,
+    out: BTreeMap<ProcId, OutLink<P>>,
+    inc: BTreeMap<ProcId, InLink<P>>,
     /// Retransmissions performed (diagnostic).
     pub retransmissions: u64,
 }
@@ -58,8 +60,8 @@ impl<P: Clone> LinkManager<P> {
     pub fn new(rto: SimDuration) -> Self {
         LinkManager {
             rto,
-            out: HashMap::new(),
-            inc: HashMap::new(),
+            out: BTreeMap::new(),
+            inc: BTreeMap::new(),
             retransmissions: 0,
         }
     }

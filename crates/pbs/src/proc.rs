@@ -10,7 +10,7 @@ use crate::job::JobId;
 use crate::mom::{MomAction, MomInbound, PbsMomCore};
 use crate::server::{CmdReply, MomReport, PbsServerCore, ServerAction, ServerCmd};
 use jrs_sim::{Ctx, Msg, ProcId, Process, SimDuration, SimTime, TimerId};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, VecDeque};
 
 /// A user command sent to a head node, with an id for at-least-once
 /// retransmission and server-side duplicate suppression.
@@ -155,13 +155,13 @@ impl Process for PbsHeadProcess {
 /// The mom daemon process.
 pub struct PbsMomProcess {
     core: PbsMomCore,
-    timers: HashMap<JobId, TimerId>,
+    timers: BTreeMap<JobId, TimerId>,
 }
 
 impl PbsMomProcess {
     /// Wrap a mom core.
     pub fn new(core: PbsMomCore) -> Self {
-        PbsMomProcess { core, timers: HashMap::new() }
+        PbsMomProcess { core, timers: BTreeMap::new() }
     }
 
     /// Inspect the mom (post-run assertions, e.g. `real_runs`).

@@ -1,0 +1,32 @@
+//! Workspace determinism-lint gate.
+//!
+//! `cargo test` must fail if any replicated-state crate regresses on
+//! the determinism/robustness rules (see `crates/detlint` and the
+//! "Determinism invariants" section of DESIGN.md). The same check runs
+//! in CI as `cargo run -p jrs-detlint -- check`; this test wires it
+//! into the ordinary test loop so a violation never gets as far as a
+//! pull request.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_detlint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let report = jrs_detlint::check_workspace(root).expect("workspace scan must succeed");
+    assert!(
+        report.files_scanned > 20,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    if !report.clean() {
+        let mut msg = format!(
+            "detlint found {} violation(s) — fix them or add a justified \
+             `// detlint: allow(RULE): reason` pragma:\n",
+            report.violations.len()
+        );
+        for v in &report.violations {
+            msg.push_str(&format!("  {v}\n"));
+        }
+        panic!("{msg}");
+    }
+}
