@@ -132,8 +132,10 @@ impl Cluster {
         let login_node = world.add_node("login");
 
         // Process ids are sequential: heads 0..h, moms h..h+c.
-        let head_ids: Vec<ProcId> = (0..h as u32).map(ProcId).collect();
-        let mom_ids: Vec<ProcId> = (0..c as u32).map(|i| ProcId(h as u32 + i)).collect();
+        let h32 = u32::try_from(h).expect("head count fits u32");
+        let c32 = u32::try_from(c).expect("compute-node count fits u32");
+        let head_ids: Vec<ProcId> = (0..h32).map(ProcId).collect();
+        let mom_ids: Vec<ProcId> = (0..c32).map(|i| ProcId(h32 + i)).collect();
         let node_names: Vec<String> = (0..c).map(|i| format!("c{i:02}")).collect();
         let all_nodes: Vec<(String, ProcId)> = node_names
             .iter()
@@ -332,7 +334,8 @@ impl Cluster {
     fn world_proc_count(&self) -> u32 {
         // Heads + moms + clients + any previous replacements: the world
         // assigns sequential ids, so the next is the total spawned so far.
-        (self.heads.len() + self.moms.len() + self.clients.len()) as u32
+        u32::try_from(self.heads.len() + self.moms.len() + self.clients.len())
+            .expect("process count fits u32")
     }
 
     /// Borrow a JOSHUA head (panics in other modes).

@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet};
 /// Everything ordered through the group. Every replica applies these in
 /// the same total order, which — the PBS server being deterministic — is
 /// exactly what keeps all head nodes in the same state.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum Payload {
     /// An intercepted PBS user command (jsub/jdel/jstat/jhold/jrls).
     Client {
@@ -85,14 +85,16 @@ impl Payload {
             Payload::JMutexAcquire { .. } => 96,
             Payload::JMutexRelease { .. } => 64,
             Payload::Snapshot { state, .. } => {
-                512 + state.pbs.jobs.len() as u32 * 160
+                // Saturating length conversion: a lossy `as` cast would
+                // wrap on pathological job counts (D005).
+                512 + u32::try_from(state.pbs.jobs.len()).unwrap_or(u32::MAX) * 160
             }
         }
     }
 }
 
 /// Complete replicated state of one JOSHUA head, shipped to joiners.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct ReplicaState {
     /// PBS server state.
     pub pbs: ServerSnapshot,
@@ -108,14 +110,14 @@ pub struct ReplicaState {
 /// The jmutex table: which job launches have been granted and released.
 /// Lives in replicated state; decisions happen at delivery time, so all
 /// replicas agree on the single winner per job.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct JMutexState {
     granted: BTreeMap<JobId, Grant>,
     released: BTreeSet<JobId>,
 }
 
 /// A granted launch.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub struct Grant {
     /// The mom that holds the launch right.
     pub mom: ProcId,
@@ -175,6 +177,13 @@ impl JMutexState {
     /// granter died).
     pub fn grants(&self) -> impl Iterator<Item = (JobId, Grant)> + '_ {
         self.granted.iter().map(|(j, g)| (*j, *g))
+    }
+
+    /// Deterministic fingerprint of the mutex table (replica-convergence
+    /// checks and model-checker state deduplication).
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        jrs_sim::fingerprint(self)
     }
 }
 

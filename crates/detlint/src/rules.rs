@@ -57,6 +57,11 @@ pub const EXEMPTIONS: &[(&str, &str, &str)] = &[
         "availability math (MTTF/MTTR, Monte Carlo) is floating-point by nature and is analysis output, not replicated state",
     ),
     (
+        "mc",
+        "D002",
+        "the model checker's wall-clock budget bounds real CPU time of the search itself; the explored model runs on virtual SimTime and never reads the clock",
+    ),
+    (
         "shim-rand",
         "D003",
         "the vendored rand shim is the seeded RNG implementation itself",
@@ -101,6 +106,11 @@ pub const RULES: &[Rule] = &[
         code: "D004",
         summary: "no f32/f64 fields in replicated-state structs/enums (gcs, pbs, core, root; the availability crate is exempt)",
         why: "floating-point accumulation order and platform rounding are not bit-stable guarantees; integer nanoseconds / counts keep snapshot comparison exact (store floats only in analysis/metrics code)",
+    },
+    Rule {
+        code: "D005",
+        summary: "no `sort_by`/`sort_unstable_by` over `partial_cmp`, and no lossy `as` narrowing casts (to u8/u16/u32/i8/i16/i32), in replicated-state crates",
+        why: "`partial_cmp(..).unwrap()` panics on NaN and a non-total comparator makes the sort order input-dependent, so replicas disagree on tie order; a narrowing `as` cast silently wraps on overflow, and two replicas that disagree only in a high bit would truncate to *agreeing* low bits (or vice versa) — use `Ord::cmp`/`total_cmp` and `try_from` with an explicit saturation policy",
     },
     Rule {
         code: "P001",
@@ -170,6 +180,8 @@ pub fn scan(origin: &FileOrigin, clean: &CleanSource) -> Vec<Violation> {
     let d003 = !origin.exempt("D003");
     let d004 = REPLICATED_CRATES.contains(&origin.crate_key.as_str())
         && !origin.exempt("D004");
+    let d005 = REPLICATED_CRATES.contains(&origin.crate_key.as_str())
+        && !origin.exempt("D005");
     let p001 = HOT_PATH_FILES.contains(&origin.rel_path.as_str())
         && !origin.exempt("P001");
 
@@ -293,6 +305,37 @@ pub fn scan(origin: &FileOrigin, clean: &CleanSource) -> Vec<Violation> {
             }
         }
 
+        if d005 {
+            let sorts = has_token(line, "sort_by") || has_token(line, "sort_unstable_by");
+            if sorts && has_token(line, "partial_cmp") {
+                push(
+                    &mut out,
+                    clean,
+                    origin,
+                    "D005",
+                    lineno,
+                    "sort with `partial_cmp` in a replicated-state crate: the \
+                     comparator is not total (NaN), so tie order — and any \
+                     unwrap — depends on the data; use `Ord::cmp` or `total_cmp`"
+                        .to_string(),
+                );
+            }
+            if let Some(ty) = narrowing_cast(line) {
+                push(
+                    &mut out,
+                    clean,
+                    origin,
+                    "D005",
+                    lineno,
+                    format!(
+                        "lossy `as {ty}` narrowing cast in a replicated-state \
+                         crate: silently wraps on overflow; use `{ty}::try_from` \
+                         with an explicit saturation/error policy"
+                    ),
+                );
+            }
+        }
+
         if p001 {
             for (pat, what) in [
                 (".unwrap()", "unwrap"),
@@ -397,6 +440,31 @@ fn float_field(line: &str) -> bool {
     has_token(line, "f32") || has_token(line, "f64")
 }
 
+/// If the line contains a lossy `as <narrow-int>` cast, return the
+/// target type. Widening and platform-width targets (`u64`, `usize`,
+/// …) are out of scope: they do not silently change values in this
+/// codebase's ranges.
+fn narrowing_cast(line: &str) -> Option<&'static str> {
+    const NARROW: &[&str] = &["u8", "u16", "u32", "i8", "i16", "i32"];
+    let mut from = 0;
+    while let Some(at) = token_position(&line[from..], "as") {
+        let abs = from + at;
+        let rest = line[abs + 2..].trim_start();
+        for ty in NARROW {
+            if let Some(tail) = rest.strip_prefix(ty) {
+                if !tail.chars().next().is_some_and(|c| c.is_alphanumeric() || c == '_') {
+                    return Some(ty);
+                }
+            }
+        }
+        from = abs + 2;
+        if from >= line.len() {
+            break;
+        }
+    }
+    None
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -461,6 +529,40 @@ mod tests {
         // The D001 itself is still suppressed — the pragma applies, it
         // is just required to explain itself.
         assert!(v.iter().all(|v| v.rule != "D001"));
+    }
+
+    #[test]
+    fn d005_partial_cmp_sorts_scoped_to_replicated_crates() {
+        let src = "v.sort_unstable_by(|a, b| a.partial_cmp(b).unwrap());\n";
+        let v = scan_str("crates/gcs/src/x.rs", src);
+        assert_eq!(v.iter().filter(|v| v.rule == "D005").count(), 1, "{v:?}");
+        let v = scan_str("crates/pbs/src/x.rs", "v.sort_by(|a, b| a.partial_cmp(b).unwrap());\n");
+        assert_eq!(v.iter().filter(|v| v.rule == "D005").count(), 1, "{v:?}");
+        assert!(scan_str("crates/availability/src/x.rs", src).is_empty());
+        // Total comparators are fine.
+        assert!(scan_str("crates/gcs/src/x.rs", "v.sort_unstable_by(|a, b| a.cmp(b));\n")
+            .is_empty());
+        assert!(scan_str("crates/gcs/src/x.rs", "v.sort_unstable_by(f64::total_cmp);\n")
+            .is_empty());
+    }
+
+    #[test]
+    fn d005_narrowing_casts_flagged_widening_allowed() {
+        for bad in ["let x = n as u32;\n", "let x = n as i16;\n", "f(len as u8)\n"] {
+            let v = scan_str("crates/core/src/x.rs", bad);
+            assert_eq!(v.iter().filter(|v| v.rule == "D005").count(), 1, "{bad:?} {v:?}");
+        }
+        for ok in [
+            "let x = n as u64;\n",
+            "let x = n as usize;\n",
+            "let x = n as i64;\n",
+            "let assign = 1;\n", // `as` must be a token, not a substring
+            "let x = basis;\n",
+        ] {
+            assert!(scan_str("crates/core/src/x.rs", ok).is_empty(), "{ok:?}");
+        }
+        // Out of scope outside the replicated crates.
+        assert!(scan_str("crates/bench/src/x.rs", "let x = n as u32;\n").is_empty());
     }
 
     #[test]

@@ -11,7 +11,7 @@ use std::collections::{BTreeMap, BTreeSet};
 ///
 /// Ordered maps so iteration (e.g. [`FailureDetector::suspects`]) is
 /// deterministic across replicas (detlint D001).
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct FailureDetector {
     fail_after: SimDuration,
     last_heard: BTreeMap<ProcId, SimTime>,
@@ -83,6 +83,13 @@ impl FailureDetector {
     /// All watched peers.
     pub fn watched(&self) -> impl Iterator<Item = ProcId> + '_ {
         self.last_heard.keys().copied()
+    }
+
+    /// Deterministic fingerprint of the detector state (watch list,
+    /// last-heard times, condemnations) for model-checker deduplication.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        jrs_sim::fingerprint(self)
     }
 }
 

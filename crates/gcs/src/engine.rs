@@ -49,7 +49,7 @@ impl<P> EngineOut<P> {
 }
 
 /// How stability information flows in the view.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 enum Stability {
     /// We collect everyone's acks and announce stability (sequencer).
     Collector,
@@ -60,7 +60,7 @@ enum Stability {
 }
 
 /// State shared by both engines.
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 struct Core<P> {
     me: ProcId,
     stability: Stability,
@@ -313,7 +313,7 @@ impl<P: Clone> Core<P> {
 
 /// Fixed-sequencer engine: the view leader (rank 0) assigns sequence
 /// numbers; everyone else sends it requests.
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct SeqEngine<P> {
     core: Core<P>,
     /// Collector: stability advanced since the last announcement.
@@ -330,7 +330,7 @@ pub struct SeqEngine<P> {
 
 /// Rotating-token engine: a token carrying the next sequence number
 /// circulates in rank order; the holder orders its pending submissions.
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct TokenEngine<P> {
     core: Core<P>,
     /// `Some(next_seq)` while we hold the token.
@@ -346,7 +346,7 @@ pub struct TokenEngine<P> {
 }
 
 /// The configured engine for one group member.
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum Engine<P> {
     /// Fixed sequencer.
     Seq(SeqEngine<P>),
@@ -558,6 +558,12 @@ impl<P: Clone> Engine<P> {
         }
         match self {
             Engine::Seq(e) => {
+                if e.core.stability == Stability::Collector {
+                    // Acks absorbed while halted advance stability without
+                    // setting the dirty flag; re-announce on the next tick
+                    // so followers waiting on `Stable` are not stranded.
+                    e.stable_dirty = true;
+                }
                 for (local_id, payload) in e.core.pending.clone() {
                     if !e.core.is_assigned(e.core.me, local_id) {
                         out.merge(e.order_or_request(local_id, payload));
@@ -643,6 +649,17 @@ impl<P: Clone> Engine<P> {
     /// Size of the retained ordered-message log (diagnostics / GC tests).
     pub fn log_len(&self) -> usize {
         self.core().log.len()
+    }
+}
+
+impl<P: Clone + std::hash::Hash> Engine<P> {
+    /// Deterministic fingerprint of the full ordering state (cursors,
+    /// log, acks, dedup floors, pendings, engine-specific fields).
+    /// Equal fingerprints mean the engines behave identically from here
+    /// on — the model checker uses this for visited-set deduplication.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        jrs_sim::fingerprint(self)
     }
 }
 

@@ -39,6 +39,14 @@ use crate::view::{View, ViewId};
 use jrs_sim::{ProcId, SimTime};
 use std::collections::{BTreeMap, BTreeSet};
 
+use std::hash::Hash;
+
+/// Saturating `usize → u32` for view sizes carried in heartbeats (a lossy
+/// `as` cast would wrap on pathological inputs, D005).
+fn size32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 /// Upcalls from the group to the embedding application.
 #[derive(Clone, Debug)]
 pub enum GcsEvent<P> {
@@ -99,7 +107,7 @@ pub struct GroupStats {
     pub ejections: u64,
 }
 
-#[derive(Debug)]
+#[derive(Clone, Debug, Hash)]
 enum Role {
     /// Not (yet) a member: periodically solicits admission.
     Joining {
@@ -112,6 +120,7 @@ enum Role {
     Member,
 }
 
+#[derive(Clone, Debug, Hash)]
 struct Finalized<P> {
     view: View,
     joined: Vec<ProcId>,
@@ -120,6 +129,7 @@ struct Finalized<P> {
     dedup: Vec<(ProcId, u64)>,
 }
 
+#[derive(Clone, Debug, Hash)]
 #[allow(clippy::large_enum_variant)] // Coordinating carries the reconciliation state; boxing it buys nothing here
 enum Flush<P> {
     None,
@@ -138,6 +148,7 @@ enum Flush<P> {
 }
 
 /// One member of a process group. See the module docs.
+#[derive(Clone, Debug)]
 pub struct GroupMember<P> {
     me: ProcId,
     config: GroupConfig,
@@ -266,6 +277,39 @@ impl<P: Clone + 'static> GroupMember<P> {
         self.engine.log_len()
     }
 
+    /// Deterministic fingerprint of the complete protocol state: view,
+    /// role, ordering engine, links, failure detector, flush machine and
+    /// membership bookkeeping. Two members with equal fingerprints behave
+    /// identically from here on — the model checker uses this for
+    /// visited-state deduplication. Excludes diagnostic counters
+    /// ([`GroupStats`]) and the static configuration.
+    #[must_use]
+    pub fn state_hash(&self) -> u64
+    where
+        P: Hash,
+    {
+        use std::hash::Hasher;
+        let mut h = jrs_sim::Fnv64::new();
+        self.me.hash(&mut h);
+        self.view.hash(&mut h);
+        self.installed.hash(&mut h);
+        self.role.hash(&mut h);
+        self.engine.hash(&mut h);
+        self.links.hash(&mut h);
+        self.detector.hash(&mut h);
+        self.flush.hash(&mut h);
+        self.max_epoch_seen.hash(&mut h);
+        self.pending_joiners.hash(&mut h);
+        self.join_incarnations.hash(&mut h);
+        self.peer_delivered.hash(&mut h);
+        self.former_members.hash(&mut h);
+        self.last_hb.hash(&mut h);
+        self.last_probe.hash(&mut h);
+        self.behind_since.hash(&mut h);
+        self.incarnation.hash(&mut h);
+        h.finish()
+    }
+
     // ------------------------------------------------------------------
     // Stimuli
     // ------------------------------------------------------------------
@@ -388,7 +432,7 @@ impl<P: Clone + 'static> GroupMember<P> {
         self.last_hb = Some(now);
         let hb = GcsMsg::Heartbeat {
             view_id: self.view.id,
-            view_size: self.view.len() as u32,
+            view_size: size32(self.view.len()),
             delivered_up_to: self.engine.delivered_up_to(),
         };
         let peers: Vec<ProcId> =
@@ -434,7 +478,7 @@ impl<P: Clone + 'static> GroupMember<P> {
             self.last_probe = Some(now);
             let hb = GcsMsg::Heartbeat {
                 view_id: self.view.id,
-                view_size: self.view.len() as u32,
+                view_size: size32(self.view.len()),
                 delivered_up_to: self.engine.delivered_up_to(),
             };
             for p in self.former_members.clone() {
@@ -470,7 +514,7 @@ impl<P: Clone + 'static> GroupMember<P> {
         // Flush stall handling.
         enum Stall {
             Nothing,
-            CondemnCoord(ProcId),
+            GiveUpBlocked(ProcId),
             Abandon(Epoch, Vec<ProcId>),
         }
         let me = self.me;
@@ -479,8 +523,7 @@ impl<P: Clone + 'static> GroupMember<P> {
             Flush::Blocked { epoch, since } if now.since(*since) >= self.config.flush_timeout => {
                 // Coordinator is taking too long: treat it as dead so a new
                 // coordinator (maybe us) takes over.
-                *since = now;
-                Stall::CondemnCoord(epoch.coord)
+                Stall::GiveUpBlocked(epoch.coord)
             }
             Flush::Coordinating { epoch, started, finalized, proposed, .. }
                 if now.since(*started) >= self.config.flush_timeout =>
@@ -501,9 +544,18 @@ impl<P: Clone + 'static> GroupMember<P> {
         };
         match stall {
             Stall::Nothing => {}
-            Stall::CondemnCoord(c) => {
+            Stall::GiveUpBlocked(c) => {
+                // Epoch takeover: condemn the stalled coordinator and give
+                // up the block. The epoch promise in `max_epoch_seen`
+                // stands, so a restart by anyone carries a higher epoch.
+                // If we are the next candidate we coordinate the takeover
+                // below; if the group otherwise looks healthy (coordinator
+                // alive but its attempt orphaned), the fizzled-flush path
+                // resumes ordering in the current view instead of halting
+                // forever on a condemnation the next heartbeat clears.
                 self.detector.watch(c, SimTime::ZERO);
                 self.detector.condemn(c);
+                self.flush = Flush::None;
             }
             Stall::Abandon(epoch, proposed) => {
                 self.flush = Flush::None;
@@ -569,7 +621,27 @@ impl<P: Clone + 'static> GroupMember<P> {
         }
     }
 
+    /// Abort an in-progress `Coordinating` attempt of ours, if any,
+    /// telling the old proposal's members so anyone blocked on that epoch
+    /// resumes instead of waiting out the stall timeout. Their epoch
+    /// promise (`max_epoch_seen`) stands, so the next attempt — ours or a
+    /// competitor's — carries a higher epoch and supersedes it.
+    fn abort_coordinating(&mut self, now: SimTime, out: &mut Output<P>) {
+        if let Flush::Coordinating { epoch, proposed, .. } = &self.flush {
+            let epoch = *epoch;
+            let peers: Vec<ProcId> =
+                proposed.iter().copied().filter(|&p| p != self.me).collect();
+            self.flush = Flush::None;
+            for p in peers {
+                self.push_link(now, p, GcsMsg::FlushAbort { epoch }, out);
+            }
+        }
+    }
+
     fn start_flush(&mut self, now: SimTime, proposal: Vec<ProcId>, out: &mut Output<P>) {
+        // Restarting with a different proposal orphans the previous
+        // attempt; release the members it blocked before replacing it.
+        self.abort_coordinating(now, out);
         self.stats.flush_attempts += 1;
         let attempt = match self.max_epoch_seen {
             Some(e) if e.view_id == self.view.id => e.attempt + 1,
@@ -674,7 +746,7 @@ impl<P: Clone + 'static> GroupMember<P> {
         // (it missed installs); between concurrent views with equal
         // counters (fail-stop split brain), the smaller component loses,
         // then the lower coordinator id.
-        let ours = (self.view.id.num, self.view.len() as u32, self.view.id.coord);
+        let ours = (self.view.id.num, size32(self.view.len()), self.view.id.coord);
         let theirs = (view_id.num, view_size, view_id.coord);
         if theirs > ours {
             match self.behind_since {
@@ -691,7 +763,7 @@ impl<P: Clone + 'static> GroupMember<P> {
             // discover the newer view and rejoin.
             let hb = GcsMsg::Heartbeat {
                 view_id: self.view.id,
-                view_size: self.view.len() as u32,
+                view_size: size32(self.view.len()),
                 delivered_up_to: self.engine.delivered_up_to(),
             };
             self.push_raw(from, hb, out);
@@ -747,7 +819,8 @@ impl<P: Clone + 'static> GroupMember<P> {
                 self.max_epoch_seen = Some(epoch);
                 self.engine.halt();
                 // A competing coordinator with a higher epoch wins; abandon
-                // our own attempt if any.
+                // our own attempt if any, releasing the members it blocked.
+                self.abort_coordinating(now, out);
                 self.flush = Flush::Blocked { epoch, since: now };
                 let digest = self.engine.digest(coord_known);
                 self.push_link(now, epoch.coord, GcsMsg::FlushInfo { epoch, digest }, out);

@@ -11,6 +11,7 @@ use crate::msg::{GcsMsg, Wire};
 use jrs_sim::{ProcId, SimDuration, SimTime};
 use std::collections::BTreeMap;
 
+#[derive(Clone, Debug, Hash)]
 struct OutLink<P> {
     next_seq: u64,
     /// seq → (message, last transmission time).
@@ -23,6 +24,7 @@ impl<P> Default for OutLink<P> {
     }
 }
 
+#[derive(Clone, Debug, Hash)]
 struct InLink<P> {
     /// Everything up to here has been delivered up the stack.
     cum: u64,
@@ -39,6 +41,7 @@ impl<P> Default for InLink<P> {
 /// All reliable links of one member, keyed by peer. Ordered maps so
 /// retransmission scans walk peers in a deterministic order (detlint
 /// D001).
+#[derive(Clone, Debug, Hash)]
 pub struct LinkManager<P> {
     rto: SimDuration,
     out: BTreeMap<ProcId, OutLink<P>>,
@@ -138,6 +141,16 @@ impl<P: Clone> LinkManager<P> {
     /// Total frames awaiting ack across all peers.
     pub fn unacked_total(&self) -> usize {
         self.out.values().map(|l| l.unacked.len()).sum()
+    }
+}
+
+impl<P: Clone + std::hash::Hash> LinkManager<P> {
+    /// Deterministic fingerprint of all link state (stream positions,
+    /// retransmission buffers, reorder buffers) for model-checker
+    /// deduplication.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        jrs_sim::fingerprint(self)
     }
 }
 

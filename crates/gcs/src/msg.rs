@@ -6,7 +6,7 @@ use jrs_sim::ProcId;
 /// Flush-protocol epoch: identifies one view-change attempt. Orders first by
 /// the view being replaced, then by attempt counter, then by coordinator id
 /// (so concurrent coordinators resolve deterministically).
-#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Epoch {
     /// The id of the view this flush is replacing.
     pub view_id: ViewId,
@@ -17,7 +17,7 @@ pub struct Epoch {
 }
 
 /// A message that has been assigned a global sequence number.
-#[derive(Clone, Debug, PartialEq)]
+#[derive(Clone, Debug, PartialEq, Hash)]
 pub struct OrderedMsg<P> {
     /// Global, gap-free sequence number (total order position).
     pub seq: u64,
@@ -31,7 +31,7 @@ pub struct OrderedMsg<P> {
 }
 
 /// In-view ordering traffic; which variants appear depends on the engine.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum EngineMsg<P> {
     /// Sequencer engine: origin asks the sequencer to order a payload.
     Request {
@@ -68,7 +68,7 @@ pub enum EngineMsg<P> {
 }
 
 /// Digest of a member's ordering state, reported during a flush.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub struct FlushDigest<P> {
     /// Highest sequence number up to which this member has everything.
     pub max_contig: u64,
@@ -81,7 +81,7 @@ pub struct FlushDigest<P> {
 }
 
 /// Group communication wire protocol.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum GcsMsg<P> {
     /// Periodic liveness beacon; carries the sender's installed view id and
     /// contiguously-delivered sequence number (for stability/GC).
@@ -166,7 +166,7 @@ pub enum GcsMsg<P> {
 
 /// Link-layer framing: raw datagrams for idempotent periodic traffic,
 /// sequenced data + cumulative acks for everything that must not be lost.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, Hash)]
 pub enum Wire<P> {
     /// Fire-and-forget (heartbeats, join requests — both periodic).
     Raw(GcsMsg<P>),
@@ -184,6 +184,12 @@ pub enum Wire<P> {
     },
 }
 
+/// Saturating `usize → u32` length conversion for wire-size estimates
+/// (a lossy `as` cast here would wrap on pathological inputs, D005).
+fn len32(n: usize) -> u32 {
+    u32::try_from(n).unwrap_or(u32::MAX)
+}
+
 impl<P> GcsMsg<P> {
     /// Approximate wire size in bytes, for the network model.
     pub fn wire_size(&self, payload_bytes: u32) -> u32 {
@@ -193,15 +199,15 @@ impl<P> GcsMsg<P> {
             GcsMsg::Leave => 48,
             GcsMsg::InstallAck { .. } => 56,
             GcsMsg::FlushAbort { .. } => 56,
-            GcsMsg::FlushReq { proposed, .. } => 72 + 8 * proposed.len() as u32,
+            GcsMsg::FlushReq { proposed, .. } => 72 + 8 * len32(proposed.len()),
             GcsMsg::FlushInfo { digest, .. } => {
-                96 + digest.extra.len() as u32 * (40 + payload_bytes)
-                    + 16 * digest.dedup.len() as u32
+                96 + len32(digest.extra.len()) * (40 + payload_bytes)
+                    + 16 * len32(digest.dedup.len())
             }
             GcsMsg::FlushFinal { msgs, view, joined, dedup, .. } => {
-                96 + msgs.len() as u32 * (40 + payload_bytes)
-                    + 8 * (view.members.len() + joined.len()) as u32
-                    + 16 * dedup.len() as u32
+                96 + len32(msgs.len()) * (40 + payload_bytes)
+                    + 8 * len32(view.members.len() + joined.len())
+                    + 16 * len32(dedup.len())
             }
             GcsMsg::Engine { msg, .. } => match msg {
                 EngineMsg::Request { .. } => 48 + payload_bytes,

@@ -4,12 +4,20 @@
 //! This is the unit-test complement to the full `jrs-sim` integration (used
 //! by downstream crates): protocol logic can be exercised step by step,
 //! with surgical crash/partition control between steps.
+//!
+//! The network is a set of per-sender/receiver FIFO channels. The default
+//! [`Pump::run`] drains them in global arrival order (equivalent to one
+//! shared FIFO queue), but a [`Scheduler`] can drive any other interleaving
+//! — this is the seam the `jrs-mc` bounded model checker plugs into to
+//! explore *all* interleavings.
 
 use crate::config::GroupConfig;
 use crate::group::{GcsEvent, GroupMember, Output};
 use crate::msg::Wire;
+use crate::view::ViewId;
 use jrs_sim::{ProcId, SimDuration, SimTime};
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::hash::{Hash, Hasher};
 
 /// A delivered application message, as recorded by the pump.
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -18,15 +26,53 @@ pub struct Delivered<P> {
     pub seq: u64,
     /// Originating member.
     pub origin: ProcId,
+    /// The view the receiving member had installed when it delivered this
+    /// message (same-view / virtual synchrony assertions).
+    pub view: ViewId,
     /// Payload.
     pub payload: P,
 }
 
-/// A little in-memory cluster of group members with a FIFO network.
+/// Picks which pending channel the pump delivers from next.
+///
+/// `pending` lists the non-empty, non-cut channels in `(from, to)` key
+/// order; the scheduler returns an index into it, or `None` to stop the
+/// pump with frames still in flight. [`FifoScheduler`] reproduces the
+/// classic global-FIFO order; the model checker supplies schedulers that
+/// replay a specific interleaving.
+pub trait Scheduler<P> {
+    /// Choose the next channel to deliver from.
+    fn choose(&mut self, pump: &Pump<P>, pending: &[(ProcId, ProcId)]) -> Option<usize>;
+}
+
+/// Delivers frames in global arrival order — exactly one shared FIFO
+/// queue, the pump's historical (and default) behaviour.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct FifoScheduler;
+
+impl<P: Clone + 'static> Scheduler<P> for FifoScheduler {
+    fn choose(&mut self, pump: &Pump<P>, pending: &[(ProcId, ProcId)]) -> Option<usize> {
+        pending
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, &(from, to))| pump.head_arrival(from, to))
+            .map(|(i, _)| i)
+    }
+}
+
+/// One FIFO channel: frames stamped with a global arrival number so the
+/// default scheduler can reproduce one shared FIFO queue.
+type Channel<P> = VecDeque<(u64, Wire<P>)>;
+
+/// A little in-memory cluster of group members with a FIFO-channel network.
+#[derive(Clone, Debug)]
 pub struct Pump<P> {
     /// The members, by id. Crashed members are removed.
     pub members: BTreeMap<ProcId, GroupMember<P>>,
-    queue: VecDeque<(ProcId, ProcId, Wire<P>)>,
+    /// Per `(from, to)` FIFO channels.
+    channels: BTreeMap<(ProcId, ProcId), Channel<P>>,
+    /// Next global arrival stamp.
+    arrivals: u64,
     /// Everything each member delivered, in order.
     pub delivered: BTreeMap<ProcId, Vec<Delivered<P>>>,
     /// Views each member installed, in order (member lists).
@@ -37,6 +83,12 @@ pub struct Pump<P> {
     pub cut: BTreeSet<(ProcId, ProcId)>,
     /// Current virtual time.
     pub now: SimTime,
+    /// Each member's installed view at this instant (stamps deliveries).
+    cur_view: BTreeMap<ProcId, ViewId>,
+    /// Undrained application upcalls, in global emission order. The model
+    /// checker's application layer consumes these via
+    /// [`Pump::take_events`]; plain tests can ignore them.
+    event_log: Vec<(ProcId, GcsEvent<P>)>,
 }
 
 impl<P: Clone + 'static> Pump<P> {
@@ -46,16 +98,20 @@ impl<P: Clone + 'static> Pump<P> {
         let ids: Vec<ProcId> = (0..n).map(ProcId).collect();
         let mut pump = Pump {
             members: BTreeMap::new(),
-            queue: VecDeque::new(),
+            channels: BTreeMap::new(),
+            arrivals: 0,
             delivered: BTreeMap::new(),
             views: BTreeMap::new(),
             ejections: BTreeMap::new(),
             cut: BTreeSet::new(),
             now: SimTime::ZERO,
+            cur_view: BTreeMap::new(),
+            event_log: Vec::new(),
         };
         for &id in &ids {
             let mut m = GroupMember::new(id, config.clone(), ids.clone());
             let out = m.start(pump.now);
+            pump.cur_view.insert(id, m.view().id);
             pump.members.insert(id, m);
             pump.absorb(id, out);
         }
@@ -67,6 +123,7 @@ impl<P: Clone + 'static> Pump<P> {
     pub fn add_joiner(&mut self, id: ProcId, contacts: Vec<ProcId>, config: GroupConfig) {
         let mut m = GroupMember::new(id, config, contacts);
         let out = m.start(self.now);
+        self.cur_view.insert(id, m.view().id);
         self.members.insert(id, m);
         self.absorb(id, out);
         self.run();
@@ -74,50 +131,169 @@ impl<P: Clone + 'static> Pump<P> {
 
     fn absorb(&mut self, who: ProcId, out: Output<P>) {
         for (to, frame, _bytes) in out.wire {
-            self.queue.push_back((who, to, frame));
+            let stamp = self.arrivals;
+            self.arrivals += 1;
+            self.channels.entry((who, to)).or_default().push_back((stamp, frame));
         }
         for ev in out.events {
-            match ev {
-                GcsEvent::Deliver { seq, origin, payload } => self
-                    .delivered
-                    .entry(who)
-                    .or_default()
-                    .push(Delivered { seq, origin, payload }),
-                GcsEvent::ViewChange { view, .. } => {
-                    self.views.entry(who).or_default().push(view.members)
+            match &ev {
+                GcsEvent::Deliver { seq, origin, payload } => {
+                    let view = self.cur_view.get(&who).copied().unwrap_or(ViewId::NONE);
+                    self.delivered.entry(who).or_default().push(Delivered {
+                        seq: *seq,
+                        origin: *origin,
+                        view,
+                        payload: payload.clone(),
+                    });
                 }
-                GcsEvent::Ejected => *self.ejections.entry(who).or_default() += 1,
+                GcsEvent::ViewChange { view, .. } => {
+                    self.cur_view.insert(who, view.id);
+                    self.views.entry(who).or_default().push(view.members.clone());
+                }
+                GcsEvent::Ejected => {
+                    self.cur_view.insert(who, ViewId::NONE);
+                    *self.ejections.entry(who).or_default() += 1;
+                }
             }
+            self.event_log.push((who, ev));
         }
     }
 
-    /// Deliver all in-flight frames (and whatever they trigger) until the
-    /// network is quiet. Time does not advance.
-    pub fn run(&mut self) {
-        // Guard against protocol ping-pong loops in broken code.
-        let mut budget = 1_000_000u64;
-        while let Some((from, to, frame)) = self.queue.pop_front() {
-            budget -= 1;
-            assert!(budget > 0, "network did not quiesce");
-            if self.cut.contains(&(from, to)) {
-                continue;
-            }
-            let Some(m) = self.members.get_mut(&to) else {
-                continue; // crashed
-            };
-            let out = m.on_wire(self.now, from, frame);
-            self.absorb(to, out);
-        }
+    // ------------------------------------------------------------------
+    // Stepping primitives (the model-checker seam)
+    // ------------------------------------------------------------------
+
+    /// Non-empty, non-cut channels towards live members, in `(from, to)`
+    /// key order. These are the frames a scheduler may deliver next.
+    #[must_use]
+    pub fn pending(&self) -> Vec<(ProcId, ProcId)> {
+        self.channels
+            .iter()
+            .filter(|((from, to), q)| {
+                !q.is_empty() && !self.cut.contains(&(*from, *to)) && self.members.contains_key(to)
+            })
+            .map(|(&k, _)| k)
+            .collect()
     }
 
-    /// Advance time by `d` and tick every member once, then pump.
-    pub fn tick(&mut self, d: SimDuration) {
+    /// The head frame of a channel, if any.
+    #[must_use]
+    pub fn peek(&self, from: ProcId, to: ProcId) -> Option<&Wire<P>> {
+        self.channels.get(&(from, to)).and_then(|q| q.front()).map(|(_, w)| w)
+    }
+
+    /// Arrival stamp of a channel's head frame (global FIFO tiebreak).
+    #[must_use]
+    pub fn head_arrival(&self, from: ProcId, to: ProcId) -> u64 {
+        self.channels
+            .get(&(from, to))
+            .and_then(|q| q.front())
+            .map_or(u64::MAX, |&(stamp, _)| stamp)
+    }
+
+    /// Pop the head frame of one channel and deliver it (discarded if the
+    /// pair is cut or the target crashed). Returns whether a member
+    /// processed it.
+    pub fn deliver_from(&mut self, from: ProcId, to: ProcId) -> bool {
+        let Some((_, frame)) = self.channels.get_mut(&(from, to)).and_then(VecDeque::pop_front)
+        else {
+            return false;
+        };
+        if self.cut.contains(&(from, to)) {
+            return false;
+        }
+        let Some(m) = self.members.get_mut(&to) else {
+            return false; // crashed
+        };
+        let out = m.on_wire(self.now, from, frame);
+        self.absorb(to, out);
+        true
+    }
+
+    /// Drop the head frame of one channel on the floor (models message
+    /// loss). Returns whether a frame was dropped.
+    pub fn drop_head(&mut self, from: ProcId, to: ProcId) -> bool {
+        self.channels
+            .get_mut(&(from, to))
+            .and_then(VecDeque::pop_front)
+            .is_some()
+    }
+
+    /// Drain undrained application upcalls, in global emission order.
+    #[must_use]
+    pub fn take_events(&mut self) -> Vec<(ProcId, GcsEvent<P>)> {
+        std::mem::take(&mut self.event_log)
+    }
+
+    /// Advance time by `d` and tick every member once, *without* pumping
+    /// the network (the model checker interleaves deliveries explicitly).
+    pub fn tick_members(&mut self, d: SimDuration) {
         self.now += d;
         let ids: Vec<ProcId> = self.members.keys().copied().collect();
         for id in ids {
             let out = self.members.get_mut(&id).unwrap().tick(self.now);
             self.absorb(id, out);
         }
+    }
+
+    /// Submit a payload from `who` without pumping the network.
+    pub fn submit(&mut self, who: ProcId, payload: P) {
+        let out = self
+            .members
+            .get_mut(&who)
+            .expect("submitting member exists")
+            .broadcast(self.now, payload);
+        self.absorb(who, out);
+    }
+
+    /// Deliver in-flight frames under an arbitrary schedule until the
+    /// network is quiet or the scheduler declines.
+    pub fn run_with<S: Scheduler<P> + ?Sized>(&mut self, sched: &mut S) {
+        // Guard against protocol ping-pong loops in broken code.
+        let mut budget = 1_000_000u64;
+        loop {
+            let pending = self.pending();
+            if pending.is_empty() {
+                // Channels to cut pairs / crashed members drain silently.
+                self.discard_dead_frames();
+                if self.pending().is_empty() {
+                    return;
+                }
+                continue;
+            }
+            let Some(i) = sched.choose(self, &pending) else { return };
+            let (from, to) = pending[i];
+            self.deliver_from(from, to);
+            budget -= 1;
+            assert!(budget > 0, "network did not quiesce");
+        }
+    }
+
+    /// Discard frames queued towards crashed members or over cut pairs.
+    fn discard_dead_frames(&mut self) {
+        let cut = &self.cut;
+        let members = &self.members;
+        self.channels.retain(|(from, to), q| {
+            if cut.contains(&(*from, *to)) || !members.contains_key(to) {
+                q.clear();
+            }
+            !q.is_empty()
+        });
+    }
+
+    /// Deliver all in-flight frames (and whatever they trigger) in global
+    /// arrival order until the network is quiet. Time does not advance.
+    pub fn run(&mut self) {
+        self.run_with(&mut FifoScheduler);
+    }
+
+    // ------------------------------------------------------------------
+    // Convenience drivers (FIFO order, as classic tests expect)
+    // ------------------------------------------------------------------
+
+    /// Advance time by `d` and tick every member once, then pump.
+    pub fn tick(&mut self, d: SimDuration) {
+        self.tick_members(d);
         self.run();
     }
 
@@ -132,12 +308,7 @@ impl<P: Clone + 'static> Pump<P> {
     /// Broadcast a payload from `who`, pump, and flush the tick-batched
     /// stability announcements so followers deliver too.
     pub fn broadcast(&mut self, who: ProcId, payload: P) {
-        let out = self
-            .members
-            .get_mut(&who)
-            .expect("broadcasting member exists")
-            .broadcast(self.now, payload);
-        self.absorb(who, out);
+        self.submit(who, payload);
         self.run();
         // Two zero-advance tick rounds: collector announces stability,
         // followers deliver.
@@ -145,9 +316,11 @@ impl<P: Clone + 'static> Pump<P> {
         self.tick(SimDuration::ZERO);
     }
 
-    /// Crash a member (removed; its in-flight messages still deliver).
+    /// Crash a member (removed; its in-flight messages still deliver, but
+    /// frames addressed *to* it are void).
     pub fn crash(&mut self, who: ProcId) {
         self.members.remove(&who);
+        self.channels.retain(|(_, to), _| *to != who);
     }
 
     /// Gracefully leave: announce, then crash.
@@ -171,8 +344,13 @@ impl<P: Clone + 'static> Pump<P> {
         self.cut.clear();
     }
 
+    // ------------------------------------------------------------------
+    // Observations and assertions
+    // ------------------------------------------------------------------
+
     /// Payload sequences delivered by each live member (for agreement
     /// assertions).
+    #[must_use]
     pub fn delivered_payloads(&self, who: ProcId) -> Vec<P> {
         self.delivered
             .get(&who)
@@ -206,8 +384,63 @@ impl<P: Clone + 'static> Pump<P> {
             .unwrap_or_default()
     }
 
+    /// Assert virtual synchrony's same-view property: every message (by
+    /// global sequence number) was delivered in the *same* installed view
+    /// by every member that delivered it — including members that crashed
+    /// later. A violation means a view change cut through a delivery.
+    pub fn assert_same_view_delivery(&self) {
+        let mut view_of_seq: BTreeMap<u64, (ProcId, ViewId)> = BTreeMap::new();
+        for (&id, dl) in &self.delivered {
+            for d in dl {
+                match view_of_seq.get(&d.seq) {
+                    None => {
+                        view_of_seq.insert(d.seq, (id, d.view));
+                    }
+                    Some(&(first, v)) => {
+                        assert_eq!(
+                            v, d.view,
+                            "seq {} delivered in view {v} by member {first} \
+                             but in view {} by member {id}",
+                            d.seq, d.view
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     /// The current installed view members of a live member.
+    #[must_use]
     pub fn view_of(&self, who: ProcId) -> Vec<ProcId> {
         self.members[&who].view().members.clone()
+    }
+}
+
+impl<P: Clone + Hash + 'static> Pump<P> {
+    /// Deterministic fingerprint of the whole cluster: virtual time, cut
+    /// set, in-flight frames per channel (contents and order, but not
+    /// absolute arrival stamps) and every member's protocol state. The
+    /// model checker uses this for visited-state deduplication; delivery
+    /// histories are deliberately excluded (invariants over them are
+    /// checked eagerly at every step).
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        let mut h = jrs_sim::Fnv64::new();
+        self.now.hash(&mut h);
+        self.cut.hash(&mut h);
+        for ((from, to), q) in &self.channels {
+            if q.is_empty() {
+                continue;
+            }
+            (from, to).hash(&mut h);
+            for (_, frame) in q {
+                frame.hash(&mut h);
+            }
+        }
+        for (&id, m) in &self.members {
+            id.hash(&mut h);
+            m.state_hash().hash(&mut h);
+        }
+        h.finish()
     }
 }

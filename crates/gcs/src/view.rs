@@ -49,7 +49,7 @@ impl fmt::Display for ViewId {
 /// Members are kept sorted; a member's *rank* is its position in the sorted
 /// list. Rank 0 (the lowest `ProcId`) acts as sequencer (sequencer engine)
 /// and as the default flush coordinator.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct View {
     /// Unique view identifier.
     pub id: ViewId,
@@ -102,6 +102,13 @@ impl View {
     pub fn successor_of(&self, p: ProcId) -> Option<ProcId> {
         let rank = self.rank_of(p)?;
         Some(self.members[(rank + 1) % self.members.len()])
+    }
+
+    /// Deterministic fingerprint of this view (id and member list), for
+    /// model-checker state deduplication and replica comparison.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        jrs_sim::fingerprint(self)
     }
 
     /// Primary-component check: may a component with member set `survivors`

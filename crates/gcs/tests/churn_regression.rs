@@ -46,4 +46,5 @@ fn churn_storm_converges_despite_ejection() {
     assert!(pump.delivered_payloads(ProcId(2)).contains(&7));
     assert!(pump.delivered_payloads(ProcId(100)).contains(&7));
     pump.assert_agreement();
+    pump.assert_same_view_delivery();
 }

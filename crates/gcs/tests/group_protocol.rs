@@ -44,6 +44,7 @@ fn broadcasts_totally_ordered_across_members() {
     pump.broadcast(p(2), "c");
     pump.broadcast(p(1), "d");
     let order = pump.assert_agreement();
+    pump.assert_same_view_delivery();
     assert_eq!(order.len(), 4);
     // Sequence numbers are gap-free from 1.
     let seqs: Vec<u64> = order.iter().map(|(s, _)| *s).collect();
@@ -116,6 +117,7 @@ fn simultaneous_double_crash_recovers() {
     assert_eq!(pump.view_of(p(3)), vec![p(2), p(3)]);
     pump.broadcast(p(2), "y");
     pump.assert_agreement();
+    pump.assert_same_view_delivery();
 }
 
 #[test]
@@ -177,6 +179,7 @@ fn join_then_crash_then_join_again() {
     assert_eq!(pump.view_of(p(0)).len(), 3);
     pump.broadcast(p(6), "works");
     pump.assert_agreement();
+    pump.assert_same_view_delivery();
 }
 
 #[test]

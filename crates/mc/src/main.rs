@@ -1,0 +1,219 @@
+//! `jrs-mc` CLI: bounded model checking of the GCS / jmutex protocol.
+//!
+//! ```text
+//! jrs-mc check  [--procs N] [--depth N] [--faults N] [--submits N]
+//!               [--engine sequencer|token] [--mutate none|grant-on-forward|no-cover]
+//!               [--mode naive|dpor] [--compare] [--budget-secs N]
+//! jrs-mc replay --trace "submit,deliver:0-1,crash:0,tick" [config flags]
+//! ```
+
+use jrs_gcs::EngineKind;
+use jrs_mc::{
+    format_trace, minimize, parse_trace, replay, Budget, McConfig, Mode, Mutation, Outcome,
+    Search, Stats, World,
+};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = args.split_first() else {
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    let out = match cmd.as_str() {
+        "check" => run_check(rest),
+        "replay" => run_replay(rest),
+        "--help" | "-h" | "help" => {
+            println!("{USAGE}");
+            return ExitCode::SUCCESS;
+        }
+        other => Err(format!("unknown subcommand {other:?}\n{USAGE}")),
+    };
+    match out {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("jrs-mc: {msg}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  jrs-mc check  [--procs N] [--depth N] [--faults N] [--submits N]
+                [--engine sequencer|token] [--mutate none|grant-on-forward|no-cover]
+                [--mode naive|dpor] [--no-dedup] [--compare] [--budget-secs N]
+  jrs-mc replay --trace TRACE [config flags as above]
+
+exit codes: 0 clean, 1 violation found, 2 usage error";
+
+struct Opts {
+    cfg: McConfig,
+    depth: u32,
+    mode: Mode,
+    dedup: bool,
+    compare: bool,
+    budget_secs: Option<u64>,
+    trace: Option<String>,
+}
+
+impl Opts {
+    fn search(&self, mode: Mode) -> Search {
+        let mut s = Search::new(mode).with_budget(match self.budget_secs {
+            Some(secs) => Budget::seconds(secs),
+            None => Budget::unlimited(),
+        });
+        if !self.dedup {
+            s = s.no_dedup();
+        }
+        s
+    }
+}
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts {
+        cfg: McConfig::default(),
+        depth: 10,
+        mode: Mode::Dpor,
+        dedup: true,
+        compare: false,
+        budget_secs: None,
+        trace: None,
+    };
+    let mut it = args.iter();
+    while let Some(flag) = it.next() {
+        let mut val = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--procs" => o.cfg.procs = num(val("--procs")?)?,
+            "--depth" => o.depth = num(val("--depth")?)?,
+            "--faults" => o.cfg.faults = num(val("--faults")?)?,
+            "--submits" => o.cfg.submits = num(val("--submits")?)?,
+            "--engine" => {
+                o.cfg.engine = match val("--engine")?.as_str() {
+                    "sequencer" => EngineKind::Sequencer,
+                    "token" => EngineKind::Token,
+                    other => return Err(format!("unknown engine {other:?}")),
+                }
+            }
+            "--mutate" => {
+                let v = val("--mutate")?;
+                o.cfg.mutation =
+                    Mutation::parse(v).ok_or_else(|| format!("unknown mutation {v:?}"))?;
+            }
+            "--mode" => {
+                let v = val("--mode")?;
+                o.mode = Mode::parse(v).ok_or_else(|| format!("unknown mode {v:?}"))?;
+            }
+            "--compare" => o.compare = true,
+            "--no-dedup" => o.dedup = false,
+            "--budget-secs" => o.budget_secs = Some(num(val("--budget-secs")?)?),
+            "--trace" => o.trace = Some(val("--trace")?.clone()),
+            other => return Err(format!("unknown flag {other:?}\n{USAGE}")),
+        }
+    }
+    Ok(o)
+}
+
+fn num<T: std::str::FromStr>(s: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    s.parse().map_err(|e| format!("bad number {s:?}: {e}"))
+}
+
+fn print_stats(label: &str, s: Stats) {
+    let trunc = if s.truncated { " (budget expired, bound not covered)" } else { "" };
+    println!(
+        "{label}: explored {} states, deduped {}, slept {}, settled {} terminals{trunc}",
+        s.explored, s.deduped, s.slept, s.settled
+    );
+}
+
+fn run_check(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_opts(args)?;
+    if o.trace.is_some() {
+        return Err("--trace belongs to the replay subcommand".into());
+    }
+    println!(
+        "jrs-mc check: procs={} depth={} faults={} submits={} engine={:?} mutate={}",
+        o.cfg.procs, o.depth, o.cfg.faults, o.cfg.submits, o.cfg.engine, o.cfg.mutation.name()
+    );
+    let start = World::new(o.cfg.clone());
+    if o.compare {
+        // The reduction comparison runs stateless (no dedup): that is
+        // where the sleep-set reduction's pruning is directly visible in
+        // the state count. Run the naive baseline first so the ratio is
+        // printed even when both modes find the same violation.
+        let naive = o.search(Mode::Naive).no_dedup().run(&start, o.depth);
+        let naive_stats = stats_of(&naive);
+        print_stats("naive", naive_stats);
+        let dpor = o.search(Mode::Dpor).no_dedup().run(&start, o.depth);
+        let dpor_stats = stats_of(&dpor);
+        print_stats("dpor ", dpor_stats);
+        if dpor_stats.explored > 0 {
+            #[allow(clippy::cast_precision_loss)]
+            let ratio = naive_stats.explored as f64 / dpor_stats.explored as f64;
+            println!("reduction: {ratio:.2}x fewer states with DPOR-lite (stateless)");
+        }
+        return report(&start, &o, dpor);
+    }
+    let out = o.search(o.mode).run(&start, o.depth);
+    print_stats("result", stats_of(&out));
+    report(&start, &o, out)
+}
+
+fn stats_of(out: &Outcome) -> Stats {
+    match out {
+        Outcome::Clean(s) => *s,
+        Outcome::Violation { stats, .. } => *stats,
+    }
+}
+
+fn report(start: &World, o: &Opts, out: Outcome) -> Result<ExitCode, String> {
+    match out {
+        Outcome::Clean(s) => {
+            if s.truncated {
+                println!("no violation found within the wall-clock budget");
+            } else {
+                println!("no violation found within the bound");
+            }
+            Ok(ExitCode::SUCCESS)
+        }
+        Outcome::Violation { violation, trace, .. } => {
+            println!("VIOLATION: {violation:?}");
+            let min = minimize(start, &trace);
+            println!("counterexample ({} steps, minimized from {}):", min.len(), trace.len());
+            for (i, &a) in min.iter().enumerate() {
+                println!("  {:>3}. {}", i + 1, jrs_mc::trace::format_action(a));
+            }
+            println!(
+                "replay: jrs-mc replay --procs {} --faults {} --submits {} --mutate {} --trace \"{}\"",
+                o.cfg.procs,
+                o.cfg.faults,
+                o.cfg.submits,
+                o.cfg.mutation.name(),
+                format_trace(&min)
+            );
+            Ok(ExitCode::FAILURE)
+        }
+    }
+}
+
+fn run_replay(args: &[String]) -> Result<ExitCode, String> {
+    let o = parse_opts(args)?;
+    let line = o.trace.as_deref().ok_or("replay needs --trace")?;
+    let trace = parse_trace(line)?;
+    let start = World::new(o.cfg.clone());
+    println!("replaying {} steps on procs={} mutate={}", trace.len(), o.cfg.procs, o.cfg.mutation.name());
+    match replay(&start, &trace) {
+        Some(v) => {
+            println!("VIOLATION reproduced: {v:?}");
+            Ok(ExitCode::FAILURE)
+        }
+        None => {
+            println!("trace ran clean (no violation; possibly infeasible from this config)");
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}

@@ -26,7 +26,7 @@ impl fmt::Display for JobId {
 }
 
 /// What the user submits (`qsub`).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct JobSpec {
     /// Human-readable job name.
     pub name: String,
@@ -99,7 +99,7 @@ pub mod exit {
 }
 
 /// A job as tracked by the server.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct Job {
     /// Identifier.
     pub id: JobId,
@@ -126,7 +126,7 @@ impl Job {
 }
 
 /// One row of `qstat` output.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct JobStatus {
     /// Identifier.
     pub id: JobId,

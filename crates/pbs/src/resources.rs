@@ -4,7 +4,7 @@ use jrs_sim::ProcId;
 use std::collections::BTreeMap;
 
 /// State of one compute node from the server's perspective.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum NodeState {
     /// Available for allocation.
     Free,
@@ -15,7 +15,7 @@ pub enum NodeState {
 }
 
 /// One compute node.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ComputeNode {
     /// Node name (sorted order defines deterministic allocation).
     pub name: String,
@@ -29,7 +29,7 @@ pub struct ComputeNode {
 ///
 /// Determinism note: all iteration is in node-name order, so every replica
 /// allocates the same nodes to the same job.
-#[derive(Clone, Debug, Default, PartialEq, Eq)]
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash)]
 pub struct NodePool {
     nodes: BTreeMap<String, ComputeNode>,
 }

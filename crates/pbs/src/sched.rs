@@ -27,6 +27,11 @@ pub trait Policy: fmt::Debug {
     /// Policy name for reports.
     fn name(&self) -> &'static str;
 
+    /// Clone into a fresh box (policies are stateless markers; this lets
+    /// a whole [`crate::PbsServerCore`] be cloned, e.g. by the model
+    /// checker when branching states).
+    fn clone_box(&self) -> Box<dyn Policy>;
+
     /// Pick the next job to start, or `None` if nothing can run now.
     /// `queued` is in submission order and contains only `Queued` jobs;
     /// `running` contains `Running` jobs with their start times.
@@ -39,6 +44,12 @@ pub trait Policy: fmt::Debug {
     ) -> Option<Allocation>;
 }
 
+impl Clone for Box<dyn Policy> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
 /// The paper's configuration: strict FIFO, one job at a time, whole
 /// cluster per job.
 #[derive(Clone, Copy, Debug, Default)]
@@ -47,6 +58,10 @@ pub struct FifoExclusive;
 impl Policy for FifoExclusive {
     fn name(&self) -> &'static str {
         "fifo-exclusive"
+    }
+
+    fn clone_box(&self) -> Box<dyn Policy> {
+        Box::new(*self)
     }
 
     fn select(
@@ -78,6 +93,10 @@ impl Policy for FifoShared {
         "fifo-shared"
     }
 
+    fn clone_box(&self) -> Box<dyn Policy> {
+        Box::new(*self)
+    }
+
     fn select(
         &self,
         _now: SimTime,
@@ -106,6 +125,10 @@ pub struct Backfill;
 impl Policy for Backfill {
     fn name(&self) -> &'static str {
         "backfill"
+    }
+
+    fn clone_box(&self) -> Box<dyn Policy> {
+        Box::new(*self)
     }
 
     fn select(

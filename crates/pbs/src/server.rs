@@ -22,7 +22,7 @@ use jrs_sim::{ProcId, SimTime};
 use std::collections::BTreeMap;
 
 /// Commands of the PBS user interface.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ServerCmd {
     /// Submit a job.
     Qsub(JobSpec),
@@ -37,7 +37,7 @@ pub enum ServerCmd {
 }
 
 /// Replies to PBS commands.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum CmdReply {
     /// Job accepted with this id.
     Submitted(JobId),
@@ -55,7 +55,7 @@ pub enum CmdReply {
 
 /// Side effects the server wants performed (sent to mom daemons by the
 /// embedding process).
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum ServerAction {
     /// Start `job` on `nodes`; `mom` is the mother-superior daemon (first
     /// allocated node), if registered.
@@ -79,7 +79,7 @@ pub enum ServerAction {
 }
 
 /// Reports from mom daemons back to the server.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
 pub enum MomReport {
     /// The job's launch was confirmed (really started or emulated).
     Started {
@@ -97,7 +97,7 @@ pub enum MomReport {
 
 /// Deterministic snapshot of the full server state, used for replica
 /// consistency checks and for state transfer to joining head nodes.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub struct ServerSnapshot {
     /// All jobs in submission order.
     pub jobs: Vec<Job>,
@@ -122,6 +122,7 @@ impl ServerSnapshot {
 }
 
 /// The PBS server state machine. See module docs.
+#[derive(Clone, Debug)]
 pub struct PbsServerCore {
     name: String,
     jobs: BTreeMap<JobId, Job>,
@@ -357,6 +358,24 @@ impl PbsServerCore {
             });
         }
         actions
+    }
+
+    /// Deterministic fingerprint of the *replicated* server state: jobs in
+    /// submission order, the id counter and node allocation states. Mom
+    /// wiring and local start times are excluded for the same reason they
+    /// are excluded from [`ServerSnapshot::consistent_with`] — they are
+    /// replica-local. Replicas that applied the same totally ordered
+    /// command stream must produce equal fingerprints.
+    #[must_use]
+    pub fn state_hash(&self) -> u64 {
+        use std::hash::{Hash, Hasher};
+        let mut h = jrs_sim::Fnv64::new();
+        for j in self.jobs_in_order() {
+            j.hash(&mut h);
+        }
+        self.next_id.hash(&mut h);
+        self.pool.alloc_state().hash(&mut h);
+        h.finish()
     }
 
     /// Snapshot the full state (replica checks, state transfer).

@@ -40,6 +40,7 @@
 #![warn(missing_docs)]
 
 pub mod fault;
+pub mod fingerprint;
 mod ids;
 pub mod metrics;
 pub mod network;
@@ -48,6 +49,7 @@ mod time;
 pub mod trace;
 mod world;
 
+pub use fingerprint::{fingerprint, Fnv64};
 pub use ids::{NodeId, ProcId, TimerId};
 pub use network::{HubConfig, Latency, LinkConfig, NetworkConfig};
 pub use process::{Ctx, Msg, Process, EXTERNAL};
