@@ -3,7 +3,7 @@
 //! architectures the paper discusses (Figures 1–4), and provides the
 //! fault-injection and inspection hooks the experiments use.
 
-use crate::config::{JoshuaConfig, JoshuaCostModel, PolicyKind};
+use crate::config::{JoshuaConfig, JoshuaCostModel, PersistConfig, PolicyKind};
 use crate::ha::{ActiveStandbyConfig, ActiveStandbyHead};
 use crate::server::JoshuaServer;
 use jrs_gcs::GroupConfig;
@@ -73,6 +73,10 @@ pub struct ClusterConfig {
     pub policy: PolicyKind,
     /// Active/standby tunables.
     pub standby: ActiveStandbyConfig,
+    /// Durability of head-node state (JOSHUA mode): WAL + snapshots on
+    /// each head's local simulated disk. Off by default (the paper's
+    /// diskless configuration).
+    pub persist: PersistConfig,
     /// Reproduce the paper's TORQUE mom obituary bug.
     pub mom_obituary_bug: bool,
     /// Client failover timeout.
@@ -91,6 +95,7 @@ impl ClusterConfig {
             group: GroupConfig::default(),
             policy: PolicyKind::FifoExclusive,
             standby: ActiveStandbyConfig::default(),
+            persist: PersistConfig::default(),
             mom_obituary_bug: false,
             client_timeout: SimDuration::from_millis(1500),
         }
@@ -217,6 +222,7 @@ impl Cluster {
                         policy: cfg.policy,
                         group: cfg.group.clone(),
                         cost: cfg.cost,
+                        persist: cfg.persist,
                     };
                     let p = world.add_process(
                         head_nodes[i],
@@ -318,6 +324,7 @@ impl Cluster {
             policy: self.cfg.policy,
             group: self.cfg.group.clone(),
             cost: self.cfg.cost,
+            persist: self.cfg.persist,
         };
         // The new process id is not in `contacts`, so it starts as a
         // joiner using them as contact points.
@@ -329,6 +336,87 @@ impl Cluster {
         self.head_nodes.push(node);
         self.heads.push(p);
         p
+    }
+
+    /// Restart a crashed JOSHUA head *in place*: revive its node (the
+    /// simulated disk survives the crash) and boot a fresh daemon under
+    /// the same process id. With durability enabled the new daemon
+    /// recovers from its local WAL + snapshot, rejoins the survivors and
+    /// catches up only the delta; diskless it rejoins empty and receives
+    /// a full snapshot.
+    pub fn restart_joshua_head(&mut self, i: usize) -> ProcId {
+        let me = self.heads[i];
+        let contacts: Vec<ProcId> =
+            self.heads.iter().copied().filter(|p| *p != me).collect();
+        if contacts.is_empty() {
+            // No survivors to join through (single-head cluster): this is
+            // a one-member cold restart — bootstrap as the initial member.
+            return self.respawn_joshua_head(i, vec![me]);
+        }
+        self.respawn_joshua_head(i, contacts)
+    }
+
+    /// Power off the entire cluster at once: every head node and every
+    /// compute node (the login node keeps its clients, which will retry).
+    pub fn blackout(&mut self) {
+        for n in self.head_nodes.clone() {
+            self.world.crash_node(n);
+        }
+        for n in self.mom_nodes.clone() {
+            self.world.crash_node(n);
+        }
+    }
+
+    /// Power the cluster back on after a [`blackout`](Cluster::blackout):
+    /// boot fresh moms (compute state is not durable — jobs that were
+    /// running died and will be relaunched), then cold-restart every head
+    /// with the full bootstrap member list so the group re-forms and
+    /// reconciles the recovered states (most advanced index wins).
+    pub fn cold_restart(&mut self) {
+        for i in 0..self.mom_nodes.len() {
+            self.restart_mom(i);
+        }
+        let contacts = self.heads.clone();
+        for i in 0..self.heads.len() {
+            self.respawn_joshua_head(i, contacts.clone());
+        }
+    }
+
+    /// Restart a crashed mom with a fresh (empty) core.
+    pub fn restart_mom(&mut self, i: usize) -> ProcId {
+        let node = self.mom_nodes[i];
+        if !self.world.is_node_alive(node) {
+            self.world.revive_node(node);
+        }
+        let mut core = PbsMomCore::new(format!("c{i:02}"));
+        core.obituary_bug = self.cfg.mom_obituary_bug;
+        self.world
+            .restart_proc(self.moms[i], Box::new(PbsMomProcess::new(core)));
+        self.moms[i]
+    }
+
+    fn respawn_joshua_head(&mut self, i: usize, initial: Vec<ProcId>) -> ProcId {
+        let HaMode::Joshua { .. } = self.cfg.mode else {
+            panic!("head restart only exists in JOSHUA mode");
+        };
+        let node = self.head_nodes[i];
+        if !self.world.is_node_alive(node) {
+            self.world.revive_node(node);
+        }
+        let all_nodes: Vec<(String, ProcId)> = (0..self.cfg.compute_nodes)
+            .map(|j| (format!("c{j:02}"), self.moms[j]))
+            .collect();
+        let jc = JoshuaConfig {
+            nodes: all_nodes,
+            policy: self.cfg.policy,
+            group: self.cfg.group.clone(),
+            cost: self.cfg.cost,
+            persist: self.cfg.persist,
+        };
+        let me = self.heads[i];
+        self.world
+            .restart_proc(me, Box::new(JoshuaServer::new(me, jc, initial)));
+        me
     }
 
     fn world_proc_count(&self) -> u32 {

@@ -62,6 +62,37 @@ impl Default for JoshuaCostModel {
     }
 }
 
+/// Durability tunables: write-ahead logging of applied commands plus
+/// periodic full-state snapshots on the head's local (simulated) disk.
+/// Disabled by default — diskless JOSHUA, the paper's configuration;
+/// recovery then relies purely on in-memory state transfer from peers.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PersistConfig {
+    /// Log + snapshot every applied command; enables crash-restart
+    /// recovery from local state.
+    pub enabled: bool,
+    /// Write a full snapshot every this many applied commands (the WAL
+    /// keeps full history; snapshots only bound replay time).
+    pub snapshot_every: u64,
+    /// How many recent commands each head keeps in memory for delta
+    /// donation to recovered joiners; gaps larger than this fall back to
+    /// a full snapshot.
+    pub ring_capacity: usize,
+}
+
+impl PersistConfig {
+    /// Durability on, with defaults sized for the paper's testbed scale.
+    pub fn durable() -> Self {
+        PersistConfig { enabled: true, snapshot_every: 32, ring_capacity: 256 }
+    }
+}
+
+impl Default for PersistConfig {
+    fn default() -> Self {
+        PersistConfig { enabled: false, snapshot_every: 32, ring_capacity: 256 }
+    }
+}
+
 /// Full configuration of one JOSHUA head-node daemon.
 #[derive(Clone, Debug)]
 pub struct JoshuaConfig {
@@ -73,4 +104,6 @@ pub struct JoshuaConfig {
     pub group: GroupConfig,
     /// Cost model.
     pub cost: JoshuaCostModel,
+    /// Durability (WAL + snapshots on the head's local disk).
+    pub persist: PersistConfig,
 }

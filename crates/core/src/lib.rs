@@ -13,6 +13,10 @@
 //!   exactly-once output release, jmutex launch arbitration, state
 //!   transfer to joining heads.
 //! * [`payload`] — the replicated command stream and jmutex table.
+//! * [`persist`] — durable head state: a checksummed WAL of applied
+//!   commands plus periodic snapshots on the head's local disk, so a
+//!   restarted head recovers locally and fetches only the delta from
+//!   its peers (and a full-cluster blackout is survivable).
 //! * [`ha`] — the paper's comparison baselines: active/standby (warm
 //!   failover, restarts jobs) and asymmetric active/active.
 //! * [`cluster`] — a harness assembling any of the four architectures on
@@ -39,11 +43,13 @@ pub mod commands;
 pub mod config;
 pub mod ha;
 pub mod payload;
+pub mod persist;
 pub mod server;
 pub mod workload;
 
 pub use cluster::{Cluster, ClusterConfig, HaMode};
 pub use commands::{jdel, jhold, jrls, jstat, jstat_job, jsub};
-pub use config::{JoshuaConfig, JoshuaCostModel, PolicyKind};
+pub use config::{JoshuaConfig, JoshuaCostModel, PersistConfig, PolicyKind};
 pub use payload::{JMutexState, Payload, ReplicaState};
-pub use server::{JoshuaServer, JoshuaStats, LeaveCmd};
+pub use persist::{HeadStore, Recovered};
+pub use server::{JoshuaServer, JoshuaStats, LeaveCmd, RecoveryReport};

@@ -5,6 +5,7 @@
 use jrs_pbs::server::ServerSnapshot;
 use jrs_pbs::{CmdReply, JobId, ServerCmd};
 use jrs_sim::ProcId;
+use jrs_store::{Codec, DecodeError, Reader};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Everything ordered through the group. Every replica applies these in
@@ -55,6 +56,10 @@ pub enum Payload {
         /// The JOSHUA daemon that forwarded this request (it sends the
         /// verdict back to the mom).
         granter: ProcId,
+        /// Reclaim after a mom reboot: every session the mom knows was
+        /// denied and nothing runs locally, so a standing same-mom grant
+        /// is re-won with this fresh session.
+        reclaim: bool,
     },
     /// jdone: release the launch mutex after completion.
     JMutexRelease {
@@ -73,6 +78,35 @@ pub enum Payload {
         /// The full replica state.
         state: Box<ReplicaState>,
     },
+    /// A (re)joining head announces how much replicated state it already
+    /// holds — recovered from its local WAL + snapshot — so the donor can
+    /// ship only the delta it missed instead of a full snapshot. A fresh
+    /// joiner sends `applied_index == 0`. After a total-cluster blackout
+    /// every cold-restarted head sends one, and the group reconciles on
+    /// the most advanced recovered state.
+    Hello {
+        /// The announcing head.
+        member: ProcId,
+        /// Commands applied (and persisted) before the announcement.
+        applied_index: u64,
+        /// Fingerprint of the recovered replicated state (cold-restart
+        /// agreement check: equal indices must mean equal fingerprints).
+        fingerprint: u64,
+    },
+    /// Delta state transfer: the commands a recovered joiner missed,
+    /// keyed by the donor's applied-command index. The cheap counterpart
+    /// of [`Payload::Snapshot`], used when the donor's recent-command
+    /// ring still covers the joiner's gap.
+    CatchUp {
+        /// The recovered heads this delta is for.
+        targets: Vec<ProcId>,
+        /// Targets replay buffered ordered payloads with sequence numbers
+        /// strictly greater than this (0 = replay the whole buffer).
+        as_of_seq: u64,
+        /// Missed commands `(applied_index, payload)`, contiguous and
+        /// ascending; targets apply only indices above their own.
+        entries: Vec<(u64, Payload)>,
+    },
 }
 
 impl Payload {
@@ -88,6 +122,12 @@ impl Payload {
                 // Saturating length conversion: a lossy `as` cast would
                 // wrap on pathological job counts (D005).
                 512 + u32::try_from(state.pbs.jobs.len()).unwrap_or(u32::MAX) * 160
+            }
+            Payload::Hello { .. } => 64,
+            Payload::CatchUp { entries, .. } => {
+                128u32.saturating_add(
+                    u32::try_from(entries.len()).unwrap_or(u32::MAX).saturating_mul(256),
+                )
             }
         }
     }
@@ -105,6 +145,14 @@ pub struct ReplicaState {
     /// Joiners still awaiting a snapshot (replicated bookkeeping so any
     /// donor death leads to re-donation at the next view change).
     pub needs_snapshot: Vec<ProcId>,
+    /// Commands applied since genesis (monotonic across restarts, unlike
+    /// the per-incarnation group sequence numbers) — the key space of the
+    /// write-ahead log.
+    pub applied_index: u64,
+    /// Recovery announcements seen and not yet resolved:
+    /// `(member, applied_index, fingerprint)` (replicated bookkeeping so
+    /// a new donor can re-donate after the original died).
+    pub hellos: Vec<(ProcId, u64, u64)>,
 }
 
 /// The jmutex table: which job launches have been granted and released.
@@ -144,9 +192,38 @@ impl JMutexState {
 
     /// Process one delivered acquire. Deterministic: first delivered
     /// acquire for a job wins; later ones (and any after release) lose.
-    pub fn acquire(&mut self, job: JobId, mom: ProcId, session: u64, granter: ProcId) -> JMutexOutcome {
-        if self.released.contains(&job) || self.granted.contains_key(&job) {
+    ///
+    /// Idempotent for the winner: a re-acquire naming the same mom and
+    /// session as the standing grant is granted again (covers a verdict
+    /// lost when heads crashed — after a restart the heads re-dispatch
+    /// and the mom re-asks through its original session; the grant
+    /// replayed from the WAL must not deny it).
+    ///
+    /// A `reclaim` acquire additionally wins with a *fresh* session, as
+    /// long as it comes from the grant-holding mom: the mom asserts that
+    /// every session it knows for this job was denied and nothing runs
+    /// locally — the reboot signature (launch competition is same-mom
+    /// only), so the standing grant belongs to a launch that died with
+    /// the mom's previous life. The grant adopts the new session so the
+    /// verdict reaches the live prologue.
+    pub fn acquire(
+        &mut self,
+        job: JobId,
+        mom: ProcId,
+        session: u64,
+        granter: ProcId,
+        reclaim: bool,
+    ) -> JMutexOutcome {
+        if self.released.contains(&job) {
             return JMutexOutcome::Denied;
+        }
+        if let Some(g) = self.granted.get_mut(&job) {
+            return if g.mom == mom && (g.session == session || reclaim) {
+                g.session = session;
+                JMutexOutcome::Granted
+            } else {
+                JMutexOutcome::Denied
+            };
         }
         self.granted.insert(job, Grant { mom, session, granter });
         JMutexOutcome::Granted
@@ -187,20 +264,168 @@ impl JMutexState {
     }
 }
 
+// ----------------------------------------------------------------------
+// Durable encoding (WAL records and snapshot files)
+// ----------------------------------------------------------------------
+
+impl Codec for Grant {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mom.encode(out);
+        self.session.encode(out);
+        self.granter.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Grant {
+            mom: ProcId::decode(r)?,
+            session: u64::decode(r)?,
+            granter: ProcId::decode(r)?,
+        })
+    }
+}
+
+impl Codec for JMutexState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.granted.encode(out);
+        self.released.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(JMutexState { granted: Codec::decode(r)?, released: Codec::decode(r)? })
+    }
+}
+
+impl Codec for ReplicaState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.pbs.encode(out);
+        self.jmutex.encode(out);
+        self.applied.encode(out);
+        self.needs_snapshot.encode(out);
+        self.applied_index.encode(out);
+        self.hellos.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(ReplicaState {
+            pbs: Codec::decode(r)?,
+            jmutex: JMutexState::decode(r)?,
+            applied: Codec::decode(r)?,
+            needs_snapshot: Codec::decode(r)?,
+            applied_index: u64::decode(r)?,
+            hellos: Codec::decode(r)?,
+        })
+    }
+}
+
+impl Codec for Payload {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Payload::Client { client, req_id, cmd } => {
+                0u8.encode(out);
+                client.encode(out);
+                req_id.encode(out);
+                cmd.encode(out);
+            }
+            Payload::Output { client, req_id } => {
+                1u8.encode(out);
+                client.encode(out);
+                req_id.encode(out);
+            }
+            Payload::MomFinished { job, exit, mom } => {
+                2u8.encode(out);
+                job.encode(out);
+                exit.encode(out);
+                mom.encode(out);
+            }
+            Payload::JMutexAcquire { job, mom, session, granter, reclaim } => {
+                3u8.encode(out);
+                job.encode(out);
+                mom.encode(out);
+                session.encode(out);
+                granter.encode(out);
+                reclaim.encode(out);
+            }
+            Payload::JMutexRelease { job } => {
+                4u8.encode(out);
+                job.encode(out);
+            }
+            Payload::Snapshot { targets, as_of_seq, state } => {
+                5u8.encode(out);
+                targets.encode(out);
+                as_of_seq.encode(out);
+                state.as_ref().encode(out);
+            }
+            Payload::Hello { member, applied_index, fingerprint } => {
+                6u8.encode(out);
+                member.encode(out);
+                applied_index.encode(out);
+                fingerprint.encode(out);
+            }
+            Payload::CatchUp { targets, as_of_seq, entries } => {
+                7u8.encode(out);
+                targets.encode(out);
+                as_of_seq.encode(out);
+                entries.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Payload::Client {
+                client: ProcId::decode(r)?,
+                req_id: u64::decode(r)?,
+                cmd: Codec::decode(r)?,
+            }),
+            1 => Ok(Payload::Output {
+                client: ProcId::decode(r)?,
+                req_id: u64::decode(r)?,
+            }),
+            2 => Ok(Payload::MomFinished {
+                job: Codec::decode(r)?,
+                exit: i32::decode(r)?,
+                mom: ProcId::decode(r)?,
+            }),
+            3 => Ok(Payload::JMutexAcquire {
+                job: Codec::decode(r)?,
+                mom: ProcId::decode(r)?,
+                session: u64::decode(r)?,
+                granter: ProcId::decode(r)?,
+                reclaim: bool::decode(r)?,
+            }),
+            4 => Ok(Payload::JMutexRelease { job: Codec::decode(r)? }),
+            5 => Ok(Payload::Snapshot {
+                targets: Codec::decode(r)?,
+                as_of_seq: u64::decode(r)?,
+                state: Box::new(ReplicaState::decode(r)?),
+            }),
+            6 => Ok(Payload::Hello {
+                member: ProcId::decode(r)?,
+                applied_index: u64::decode(r)?,
+                fingerprint: u64::decode(r)?,
+            }),
+            7 => Ok(Payload::CatchUp {
+                targets: Codec::decode(r)?,
+                as_of_seq: u64::decode(r)?,
+                entries: Codec::decode(r)?,
+            }),
+            _ => Err(DecodeError::Invalid("Payload tag")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
     const MOM: ProcId = ProcId(50);
+    const MOM2: ProcId = ProcId(51);
     const G1: ProcId = ProcId(1);
     const G2: ProcId = ProcId(2);
 
     #[test]
     fn first_acquire_wins_rest_denied() {
         let mut t = JMutexState::new();
-        assert_eq!(t.acquire(JobId(1), MOM, 10, G1), JMutexOutcome::Granted);
-        assert_eq!(t.acquire(JobId(1), MOM, 11, G2), JMutexOutcome::Denied);
-        assert_eq!(t.acquire(JobId(1), MOM, 12, G1), JMutexOutcome::Denied);
+        assert_eq!(t.acquire(JobId(1), MOM, 10, G1, false), JMutexOutcome::Granted);
+        // Competing sessions (same mom, other heads' ballots) lose.
+        assert_eq!(t.acquire(JobId(1), MOM, 11, G2, false), JMutexOutcome::Denied);
+        assert_eq!(t.acquire(JobId(1), MOM, 12, G1, false), JMutexOutcome::Denied);
         let g = t.holder(JobId(1)).unwrap();
         assert_eq!(g.session, 10);
         assert_eq!(g.granter, G1);
@@ -210,20 +435,20 @@ mod tests {
     #[test]
     fn independent_jobs_do_not_interfere() {
         let mut t = JMutexState::new();
-        assert_eq!(t.acquire(JobId(1), MOM, 1, G1), JMutexOutcome::Granted);
-        assert_eq!(t.acquire(JobId(2), MOM, 2, G2), JMutexOutcome::Granted);
+        assert_eq!(t.acquire(JobId(1), MOM, 1, G1, false), JMutexOutcome::Granted);
+        assert_eq!(t.acquire(JobId(2), MOM, 2, G2, false), JMutexOutcome::Granted);
         assert_eq!(t.outstanding(), 2);
     }
 
     #[test]
     fn release_prevents_regrant() {
         let mut t = JMutexState::new();
-        let _ = t.acquire(JobId(1), MOM, 1, G1);
+        let _ = t.acquire(JobId(1), MOM, 1, G1, false);
         t.release(JobId(1));
         assert!(t.is_released(JobId(1)));
         assert_eq!(t.holder(JobId(1)), None);
         // A straggler acquire after release must not launch again.
-        assert_eq!(t.acquire(JobId(1), MOM, 9, G2), JMutexOutcome::Denied);
+        assert_eq!(t.acquire(JobId(1), MOM, 9, G2, true), JMutexOutcome::Denied);
     }
 
     #[test]
@@ -238,11 +463,27 @@ mod tests {
         let mut a = JMutexState::new();
         let mut b = JMutexState::new();
         for (job, session, granter) in ops {
-            let ra = a.acquire(job, MOM, session, granter);
-            let rb = b.acquire(job, MOM, session, granter);
+            let ra = a.acquire(job, MOM, session, granter, false);
+            let rb = b.acquire(job, MOM, session, granter, false);
             assert_eq!(ra, rb);
         }
         assert_eq!(a, b);
+    }
+
+    fn empty_state() -> ReplicaState {
+        ReplicaState {
+            pbs: ServerSnapshot {
+                jobs: vec![],
+                next_id: 1,
+                pool: Default::default(),
+                running_since: vec![],
+            },
+            jmutex: JMutexState::new(),
+            applied: vec![],
+            needs_snapshot: vec![],
+            applied_index: 0,
+            hellos: vec![],
+        }
     }
 
     #[test]
@@ -252,18 +493,74 @@ mod tests {
         let snap = Payload::Snapshot {
             targets: vec![ProcId(9)],
             as_of_seq: 0,
-            state: Box::new(ReplicaState {
-                pbs: ServerSnapshot {
-                    jobs: vec![],
-                    next_id: 1,
-                    pool: Default::default(),
-                    running_since: vec![],
-                },
-                jmutex: JMutexState::new(),
-                applied: vec![],
-                needs_snapshot: vec![],
-            }),
+            state: Box::new(empty_state()),
         };
         assert!(snap.wire_size() >= 512);
+        let hello = Payload::Hello { member: ProcId(1), applied_index: 7, fingerprint: 9 };
+        assert!(hello.wire_size() < 128);
+    }
+
+    #[test]
+    fn regrant_and_reclaim_semantics() {
+        let mut t = JMutexState::new();
+        assert_eq!(t.acquire(JobId(1), MOM, 10, G1, false), JMutexOutcome::Granted);
+        // Replayed acquire after a blackout: same mom + session wins again
+        // (the verdict was lost with the heads; the mom still waits).
+        assert_eq!(t.acquire(JobId(1), MOM, 10, G2, false), JMutexOutcome::Granted);
+        // A plain fresh session still loses (steady-state competition).
+        assert_eq!(t.acquire(JobId(1), MOM, 11, G2, false), JMutexOutcome::Denied);
+        // The mom itself was rebooted: its reclaim re-wins with a fresh
+        // session and the grant adopts it (the old launch died with it).
+        assert_eq!(t.acquire(JobId(1), MOM, 12, G2, true), JMutexOutcome::Granted);
+        assert_eq!(t.holder(JobId(1)).unwrap().session, 12);
+        // A reclaim from another mom is still denied.
+        assert_eq!(t.acquire(JobId(1), MOM2, 13, G2, true), JMutexOutcome::Denied);
+        assert_eq!(t.outstanding(), 1);
+        assert_eq!(t.holder(JobId(1)).unwrap().granter, G1, "original grant kept");
+    }
+
+    #[test]
+    fn payloads_round_trip_through_codec() {
+        use jrs_pbs::{JobSpec, ServerCmd};
+        let samples = vec![
+            Payload::Client {
+                client: ProcId(20),
+                req_id: 3,
+                cmd: ServerCmd::Qsub(JobSpec::trivial("j")),
+            },
+            Payload::Output { client: ProcId(20), req_id: 3 },
+            Payload::MomFinished { job: JobId(1), exit: -2, mom: MOM },
+            Payload::JMutexAcquire {
+                job: JobId(1),
+                mom: MOM,
+                session: 4,
+                granter: G1,
+                reclaim: true,
+            },
+            Payload::JMutexRelease { job: JobId(2) },
+            Payload::Hello { member: G2, applied_index: 11, fingerprint: 99 },
+            Payload::Snapshot {
+                targets: vec![G2],
+                as_of_seq: 5,
+                state: Box::new(empty_state()),
+            },
+        ];
+        let catch_up = Payload::CatchUp {
+            targets: vec![G2],
+            as_of_seq: 5,
+            entries: samples
+                .iter()
+                .take(2)
+                .enumerate()
+                .map(|(i, p)| (u64::try_from(i).expect("small") + 1, p.clone()))
+                .collect(),
+        };
+        for p in samples.into_iter().chain([catch_up]) {
+            let bytes = p.to_bytes();
+            let back = Payload::from_bytes(&bytes).unwrap();
+            // Payload has no PartialEq (ReplicaState holds a boxed tree);
+            // compare fingerprints of the hashable structure instead.
+            assert_eq!(jrs_sim::fingerprint(&back), jrs_sim::fingerprint(&p));
+        }
     }
 }

@@ -32,12 +32,13 @@
 
 use crate::config::JoshuaConfig;
 use crate::payload::{JMutexOutcome, JMutexState, Payload, ReplicaState};
+use crate::persist::{HeadStore, Recovered};
 use jrs_gcs::{GcsEvent, GroupMember, Output as GcsOutput, View, Wire};
 use jrs_pbs::proc::{ArbiterRelease, ArbiterRequest, ClientReply, ClientRequest};
 use jrs_pbs::server::{MomReport, PbsServerCore, ServerAction};
-use jrs_pbs::{CmdReply, MomInbound, ServerCmd};
+use jrs_pbs::{CmdReply, JobState, MomInbound, ServerCmd};
 use jrs_sim::{Ctx, Msg, ProcId, Process, SimDuration, TimerId};
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 
 /// Control message: gracefully leave the group and shut down (the paper's
 /// voluntary head-node leave, handled as a forced failure via signal).
@@ -61,6 +62,46 @@ pub struct JoshuaStats {
     pub snapshots_sent: u64,
     /// Snapshots received and installed.
     pub snapshots_installed: u64,
+    /// Delta catch-ups donated to recovered joiners.
+    pub catch_ups_sent: u64,
+    /// Delta catch-ups received and applied.
+    pub catch_ups_applied: u64,
+    /// Commands appended (and fsynced) to the local WAL.
+    pub wal_records: u64,
+    /// Full-state snapshots written to the local disk.
+    pub snapshots_written: u64,
+}
+
+/// How far this replica is from participating in the replicated state.
+enum SyncMode {
+    /// Full participant: applies every ordered payload on delivery.
+    Established,
+    /// Joiner awaiting state transfer (snapshot or delta); ordered
+    /// payloads are buffered for replay after installation.
+    AwaitState(Vec<(u64, Payload)>),
+    /// Cold restart after a total-cluster blackout: an initial member
+    /// holding recovered local state, buffering ordered payloads until
+    /// every member's recovery announcement is in and the group has
+    /// agreed whose state is most advanced.
+    Reconciling(Vec<(u64, Payload)>),
+}
+
+/// Forensics from the durable-state recovery pass, for tests and traces.
+#[derive(Clone, Debug, Default)]
+pub struct RecoveryReport {
+    /// Applied-command index restored from snapshot + WAL replay.
+    pub recovered_index: u64,
+    /// WAL commands replayed on top of the snapshot.
+    pub wal_replayed: usize,
+    /// A torn WAL tail was truncated to the last valid record.
+    pub torn_tail_truncated: bool,
+    /// Mid-log corruption at this byte offset; the WAL was quarantined
+    /// and only the snapshot was trusted.
+    pub corruption_offset: Option<u64>,
+    /// Replica fingerprint right after snapshot + WAL replay, before any
+    /// live traffic: with an undamaged disk this is bit-identical to the
+    /// fingerprint of the life that crashed.
+    pub recovered_fingerprint: u64,
 }
 
 /// The JOSHUA daemon. See module docs.
@@ -76,10 +117,31 @@ pub struct JoshuaServer {
     /// Members of the current view that joined with it (not yet
     /// established; excluded from responder duty).
     joined_current: BTreeSet<ProcId>,
-    /// `Some(buffer)` while we await our own snapshot.
-    awaiting: Option<Vec<(u64, Payload)>>,
+    /// Synchronisation state (established / awaiting transfer / cold
+    /// reconciliation).
+    sync: SyncMode,
     /// Sequence number of the last ordered payload applied.
     last_applied_seq: u64,
+    /// Commands applied since genesis — monotonic across restarts (group
+    /// sequence numbers reset per incarnation); the WAL key space.
+    applied_index: u64,
+    /// Recent applied commands for delta donation to recovered joiners.
+    ring: VecDeque<(u64, Payload)>,
+    /// Unresolved recovery announcements `member → (index, fingerprint)`
+    /// (replicated bookkeeping, mirrored into donated state).
+    hellos: BTreeMap<ProcId, (u64, u64)>,
+    /// Durable storage, when persistence is enabled.
+    store: Option<HeadStore>,
+    /// True while replaying recovered/donated history: suppresses the
+    /// externally visible side effects (mom dispatch, output release,
+    /// verdicts) that the pre-crash life already performed.
+    replaying: bool,
+    /// After a recovery, re-drive mom dispatch once established.
+    resync_pending: bool,
+    /// Last incarnation written to the meta file (persist on change).
+    persisted_incarnation: u64,
+    /// What recovery found (None until `on_start`, or without a store).
+    recovery: Option<RecoveryReport>,
     /// Payloads whose broadcast is delayed by a modelled CPU cost
     /// (interception, PBS command processing); keyed by timer tag.
     deferred: BTreeMap<u64, Payload>,
@@ -97,7 +159,18 @@ impl JoshuaServer {
     pub fn new(me: ProcId, config: JoshuaConfig, initial_heads: Vec<ProcId>) -> Self {
         let group = GroupMember::new(me, config.group.clone(), initial_heads.clone());
         let pbs = Self::fresh_pbs(&config, me);
-        let awaiting = if initial_heads.contains(&me) { None } else { Some(Vec::new()) };
+        let store = config.persist.enabled.then(HeadStore::new);
+        // With a durable store, even an initial member defers establishment
+        // to `on_start` recovery + reconciliation (it may hold state from a
+        // previous life, and so may its peers). Diskless initial members
+        // are established immediately, as in the paper.
+        let sync = if !initial_heads.contains(&me) {
+            SyncMode::AwaitState(Vec::new())
+        } else if store.is_some() {
+            SyncMode::Reconciling(Vec::new())
+        } else {
+            SyncMode::Established
+        };
         JoshuaServer {
             config,
             group,
@@ -106,8 +179,16 @@ impl JoshuaServer {
             applied: BTreeMap::new(),
             needs_snapshot: BTreeSet::new(),
             joined_current: BTreeSet::new(),
-            awaiting,
+            sync,
             last_applied_seq: 0,
+            applied_index: 0,
+            ring: VecDeque::new(),
+            hellos: BTreeMap::new(),
+            store,
+            replaying: false,
+            resync_pending: false,
+            persisted_incarnation: 0,
+            recovery: None,
             deferred: BTreeMap::new(),
             witness: BTreeMap::new(),
             next_tag: 1,
@@ -153,12 +234,34 @@ impl JoshuaServer {
 
     /// Is this head fully established (installed and state-transferred)?
     pub fn is_established(&self) -> bool {
-        self.group.is_installed() && self.awaiting.is_none()
+        self.group.is_installed() && matches!(self.sync, SyncMode::Established)
     }
 
     /// The jmutex table (tests).
     pub fn jmutex(&self) -> &JMutexState {
         &self.jmutex
+    }
+
+    /// Commands applied since genesis (monotonic across restarts).
+    pub fn applied_index(&self) -> u64 {
+        self.applied_index
+    }
+
+    /// Deterministic fingerprint of the replicated state. Equal on every
+    /// established replica at quiescence; recovery announcements carry it
+    /// so equal indices can be cross-checked.
+    pub fn state_fingerprint(&self) -> u64 {
+        jrs_sim::fingerprint(&(
+            self.pbs.state_hash(),
+            self.jmutex.state_hash(),
+            self.applied_index,
+        ))
+    }
+
+    /// What the durable-state recovery pass found (None before `on_start`
+    /// or when persistence is disabled).
+    pub fn recovery_report(&self) -> Option<&RecoveryReport> {
+        self.recovery.as_ref()
     }
 
     // ------------------------------------------------------------------
@@ -209,6 +312,16 @@ impl JoshuaServer {
         for ev in out.events {
             self.on_gcs_event(ctx, ev);
         }
+        // Persist the group incarnation whenever it advances, so a future
+        // restart rejoins with one the survivors will not ignore.
+        let inc = self.group.incarnation();
+        if inc != self.persisted_incarnation {
+            if let Some(store) = &self.store {
+                let now = ctx.now();
+                store.save_incarnation(ctx.disk_mut(), now, inc);
+            }
+            self.persisted_incarnation = inc;
+        }
     }
 
     fn broadcast(&mut self, ctx: &mut Ctx<'_>, payload: Payload) {
@@ -238,16 +351,24 @@ impl JoshuaServer {
     fn on_gcs_event(&mut self, ctx: &mut Ctx<'_>, ev: GcsEvent<Payload>) {
         match ev {
             GcsEvent::Deliver { seq, payload, .. } => {
-                if let Some(buf) = &mut self.awaiting {
-                    // Awaiting our snapshot: buffer everything except the
-                    // snapshot addressed to us.
-                    let is_my_snapshot = matches!(
-                        &payload,
-                        Payload::Snapshot { targets, .. } if targets.contains(&ctx.me())
-                    );
-                    if !is_my_snapshot {
-                        buf.push((seq, payload));
-                        return;
+                match &mut self.sync {
+                    SyncMode::Established => {}
+                    SyncMode::AwaitState(buf) | SyncMode::Reconciling(buf) => {
+                        // Not yet established: buffer everything except
+                        // the synchronisation control traffic itself —
+                        // state transfers addressed to us, and recovery
+                        // announcements (which drive reconciliation).
+                        let me = ctx.me();
+                        let is_control = match &payload {
+                            Payload::Snapshot { targets, .. }
+                            | Payload::CatchUp { targets, .. } => targets.contains(&me),
+                            Payload::Hello { .. } => true,
+                            _ => false,
+                        };
+                        if !is_control {
+                            buf.push((seq, payload));
+                            return;
+                        }
                     }
                 }
                 self.apply(ctx, seq, payload);
@@ -267,8 +388,20 @@ impl JoshuaServer {
         self.stats.payloads_applied += 1;
         self.last_applied_seq = seq;
         match payload {
-            Payload::Client { client, req_id, cmd } => {
-                self.apply_client(ctx, client, req_id, cmd);
+            p @ (Payload::Client { .. }
+            | Payload::MomFinished { .. }
+            | Payload::JMutexAcquire { .. }
+            | Payload::JMutexRelease { .. }) => {
+                // The four state-machine commands: numbered, logged,
+                // applied. Everything else is control traffic and is
+                // neither counted nor persisted.
+                self.apply_command(ctx, p, true);
+            }
+            Payload::Hello { member, applied_index, fingerprint } => {
+                self.on_hello(ctx, member, applied_index, fingerprint);
+            }
+            Payload::CatchUp { targets, as_of_seq, entries } => {
+                self.on_catch_up(ctx, targets, as_of_seq, entries);
             }
             Payload::Output { client, req_id } => {
                 if self.is_responder() {
@@ -285,12 +418,47 @@ impl JoshuaServer {
                     }
                 }
             }
+            Payload::Snapshot { targets, as_of_seq, state } => {
+                // An already-established target must not rewind to an
+                // older snapshot (possible when two donors overlapped).
+                if targets.contains(&ctx.me()) && !matches!(self.sync, SyncMode::Established) {
+                    self.install_snapshot(ctx, as_of_seq, *state);
+                }
+                for t in &targets {
+                    self.needs_snapshot.remove(t);
+                    self.joined_current.remove(t);
+                    self.hellos.remove(t);
+                }
+            }
+        }
+    }
+
+    /// Apply one of the four replicated state-machine commands: number it,
+    /// persist it to the WAL (fsynced before any effect escapes), remember
+    /// it for delta donation, then run the state transition. `log` is
+    /// false only when replaying records that are already in the WAL.
+    fn apply_command(&mut self, ctx: &mut Ctx<'_>, payload: Payload, log: bool) {
+        self.applied_index += 1;
+        let idx = self.applied_index;
+        if log {
+            if let Some(store) = &self.store {
+                let now = ctx.now();
+                if store.log_command(ctx.disk_mut(), now, idx, &payload) {
+                    self.stats.wal_records += 1;
+                }
+            }
+        }
+        self.remember(idx, payload.clone());
+        match payload {
+            Payload::Client { client, req_id, cmd } => {
+                self.apply_client(ctx, client, req_id, cmd);
+            }
             Payload::MomFinished { job, exit, .. } => {
                 let actions = self.pbs.on_report(ctx.now(), &MomReport::Finished { job, exit });
                 self.dispatch(ctx, actions, SimDuration::ZERO);
             }
-            Payload::JMutexAcquire { job, mom, session, granter } => {
-                let outcome = self.jmutex.acquire(job, mom, session, granter);
+            Payload::JMutexAcquire { job, mom, session, granter, reclaim } => {
+                let outcome = self.jmutex.acquire(job, mom, session, granter, reclaim);
                 // The forwarding head sends the verdict; if it died while
                 // the acquire was in flight, the responder covers for it
                 // (deterministic: every replica sees the same view).
@@ -299,7 +467,7 @@ impl JoshuaServer {
                 } else {
                     self.responder().unwrap_or(granter)
                 };
-                if sender == ctx.me() {
+                if sender == ctx.me() && !self.replaying {
                     let granted = outcome == JMutexOutcome::Granted;
                     if granted {
                         self.stats.jmutex_granted += 1;
@@ -312,15 +480,54 @@ impl JoshuaServer {
             Payload::JMutexRelease { job } => {
                 self.jmutex.release(job);
             }
-            Payload::Snapshot { targets, as_of_seq, state } => {
-                for t in &targets {
-                    self.needs_snapshot.remove(t);
-                    self.joined_current.remove(t);
-                }
-                if targets.contains(&ctx.me()) {
-                    self.install_snapshot(ctx, as_of_seq, *state);
-                }
+            // apply() routes only the four command payloads here.
+            _ => {}
+        }
+        if log {
+            self.maybe_snapshot(ctx, idx);
+        }
+    }
+
+    /// Keep a command in the bounded donation ring.
+    fn remember(&mut self, idx: u64, payload: Payload) {
+        self.ring.push_back((idx, payload));
+        while self.ring.len() > self.config.persist.ring_capacity {
+            self.ring.pop_front();
+        }
+    }
+
+    /// Write a periodic full-state snapshot (bounds WAL replay time).
+    fn maybe_snapshot(&mut self, ctx: &mut Ctx<'_>, idx: u64) {
+        let every = self.config.persist.snapshot_every;
+        if self.store.is_none() || every == 0 || !idx.is_multiple_of(every) {
+            return;
+        }
+        let state = self.current_state();
+        if let Some(store) = &self.store {
+            let now = ctx.now();
+            if store.save_snapshot(ctx.disk_mut(), now, idx, &state) {
+                self.stats.snapshots_written += 1;
             }
+        }
+    }
+
+    /// The full replicated state as it stands, for donation and snapshots.
+    fn current_state(&self) -> ReplicaState {
+        ReplicaState {
+            pbs: self.pbs.snapshot(),
+            jmutex: self.jmutex.clone(),
+            applied: self
+                .applied
+                .iter()
+                .map(|(c, (id, r))| (*c, *id, r.clone()))
+                .collect(),
+            needs_snapshot: self.needs_snapshot.iter().copied().collect(),
+            applied_index: self.applied_index,
+            hellos: self
+                .hellos
+                .iter()
+                .map(|(m, (i, f))| (*m, *i, *f))
+                .collect(),
         }
     }
 
@@ -329,7 +536,7 @@ impl JoshuaServer {
         if req_id <= floor {
             // Duplicate (client retried through another head). Re-release
             // the cached output if it is the same request.
-            if req_id == floor && self.is_responder() {
+            if req_id == floor && self.is_responder() && !self.replaying {
                 let delay = self.config.cost.intercept_overhead;
                 self.defer_broadcast(ctx, Payload::Output { client, req_id }, delay);
             }
@@ -339,7 +546,7 @@ impl JoshuaServer {
         let (reply, actions) = self.pbs.apply(ctx.now(), &cmd);
         self.applied.insert(client, (req_id, reply));
         self.dispatch(ctx, actions, cost);
-        if self.is_responder() {
+        if self.is_responder() && !self.replaying {
             // Second ordering round, once the PBS server has produced the
             // output: agree on its release.
             self.defer_broadcast(ctx, Payload::Output { client, req_id }, cost);
@@ -347,6 +554,11 @@ impl JoshuaServer {
     }
 
     fn dispatch(&mut self, ctx: &mut Ctx<'_>, actions: Vec<ServerAction>, delay: SimDuration) {
+        if self.replaying {
+            // Recovery replay: the pre-crash life already dispatched these
+            // (and what it did not, `resync` re-drives once established).
+            return;
+        }
         let me = ctx.me();
         for a in actions {
             match a {
@@ -384,29 +596,49 @@ impl JoshuaServer {
         ctx: &mut Ctx<'_>,
         view: View,
         joined: Vec<ProcId>,
-        _left: Vec<ProcId>,
+        left: Vec<ProcId>,
     ) {
         self.joined_current = joined.iter().copied().collect();
         for j in &joined {
+            // A (re)joiner announces itself afresh below; any announcement
+            // recorded under its id belongs to a previous life.
+            self.hellos.remove(j);
             if *j != ctx.me() {
                 self.needs_snapshot.insert(*j);
             }
         }
+        for l in &left {
+            self.hellos.remove(l);
+        }
         if joined.contains(&ctx.me()) {
-            // We are the (re)joiner: await state.
-            if self.awaiting.is_none() {
-                self.awaiting = Some(Vec::new());
+            // We are the (re)joiner: await state, then announce what our
+            // disk vouched for (index 0 when diskless or empty) so the
+            // donor can ship a delta instead of a full snapshot.
+            if matches!(self.sync, SyncMode::Established) {
+                self.sync = SyncMode::AwaitState(Vec::new());
             }
             // Register with the moms for future obituaries.
             for (_, mom) in self.config.nodes.clone() {
                 ctx.send(mom, MomInbound::RegisterServer { server: ctx.me() });
             }
+            let hello = Payload::Hello {
+                member: ctx.me(),
+                applied_index: self.applied_index,
+                fingerprint: self.state_fingerprint(),
+            };
+            self.broadcast(ctx, hello);
+            return;
+        }
+        if matches!(self.sync, SyncMode::Reconciling(_)) {
+            // A cold-restart participant died mid-reconciliation (possibly
+            // the chosen reference): re-resolve over the shrunken view.
+            self.try_resolve(ctx);
             return;
         }
         // Verdict redelivery: outstanding launch grants whose granter
         // left can never reach their mom — the responder re-sends them.
         // Idempotent at the mom (a running/done job ignores late grants).
-        if self.is_responder() && self.awaiting.is_none() {
+        if self.is_responder() && matches!(self.sync, SyncMode::Established) {
             let lost: Vec<(jrs_pbs::JobId, crate::payload::Grant)> = self
                 .jmutex
                 .grants()
@@ -419,27 +651,164 @@ impl JoshuaServer {
                 );
             }
         }
-        // Donor duty: the responder ships state to whoever needs it.
-        if self.is_responder() && !self.needs_snapshot.is_empty() && self.awaiting.is_none() {
-            let state = ReplicaState {
-                pbs: self.pbs.snapshot(),
-                jmutex: self.jmutex.clone(),
-                applied: self
-                    .applied
-                    .iter()
-                    .map(|(c, (id, r))| (*c, *id, r.clone()))
-                    .collect(),
-                needs_snapshot: self.needs_snapshot.iter().copied().collect(),
-            };
-            let targets: Vec<ProcId> = self.needs_snapshot.iter().copied().collect();
+        // Donor duty is announcement-triggered (`on_hello`); the view
+        // change only re-donates to joiners whose announcement was already
+        // ordered but whose donor died before the donation was (otherwise
+        // they would wait forever).
+        if self.is_responder() && matches!(self.sync, SyncMode::Established) {
+            let orphans: Vec<ProcId> = self
+                .needs_snapshot
+                .iter()
+                .copied()
+                .filter(|t| self.hellos.contains_key(t))
+                .collect();
+            if !orphans.is_empty() {
+                self.donate(ctx, orphans);
+            }
+        }
+        let _ = view;
+    }
+
+    /// A recovery announcement was ordered: record it and either advance
+    /// cold-restart reconciliation or (when established and on donor duty)
+    /// ship the joiner the state it is missing.
+    fn on_hello(&mut self, ctx: &mut Ctx<'_>, member: ProcId, applied_index: u64, fingerprint: u64) {
+        self.hellos.insert(member, (applied_index, fingerprint));
+        match self.sync {
+            SyncMode::Reconciling(_) => self.try_resolve(ctx),
+            SyncMode::Established => {
+                if member != ctx.me()
+                    && self.is_responder()
+                    && self.needs_snapshot.contains(&member)
+                {
+                    self.donate(ctx, vec![member]);
+                }
+            }
+            SyncMode::AwaitState(_) => {}
+        }
+    }
+
+    /// Cold-restart reconciliation: once every member of the view has
+    /// announced its recovered index, agree (deterministically, at every
+    /// replica) whose state is the reference. Members matching it resume;
+    /// the reference donates the laggards their missing delta.
+    fn try_resolve(&mut self, ctx: &mut Ctx<'_>) {
+        if !self.group.is_installed() {
+            return;
+        }
+        let members = self.view().members.clone();
+        if members.is_empty() || !members.iter().all(|m| self.hellos.contains_key(m)) {
+            return;
+        }
+        // Reference: the most advanced announced index; the membership
+        // list is identical at every replica, so first-wins is a
+        // deterministic tie break.
+        let mut ref_member = members[0];
+        let mut ref_idx = 0u64;
+        let mut ref_fp = 0u64;
+        let mut first = true;
+        for m in &members {
+            let (i, f) = self.hellos[m];
+            if first || i > ref_idx {
+                ref_member = *m;
+                ref_idx = i;
+                ref_fp = f;
+                first = false;
+            }
+        }
+        let resolution_seq = self.last_applied_seq;
+        let matches_ref = |(i, f): (u64, u64)| i == ref_idx && f == ref_fp;
+        let laggards: Vec<ProcId> = members
+            .iter()
+            .copied()
+            .filter(|m| !matches_ref(self.hellos[m]))
+            .collect();
+        let me_matches = matches_ref(self.hellos[&ctx.me()]);
+        for m in &members {
+            if matches_ref(self.hellos[m]) {
+                self.hellos.remove(m);
+            }
+        }
+        for l in &laggards {
+            self.needs_snapshot.insert(*l);
+        }
+        if me_matches {
+            self.establish(ctx, resolution_seq);
+        }
+        if !laggards.is_empty() && ref_member == ctx.me() {
+            self.donate(ctx, laggards);
+        }
+    }
+
+    /// Ship state to `targets` (all of which have announced an index via
+    /// [`Payload::Hello`]): a delta of recent commands when the donation
+    /// ring still covers the most lagging target, else a full snapshot.
+    fn donate(&mut self, ctx: &mut Ctx<'_>, targets: Vec<ProcId>) {
+        let as_of_seq = self.last_applied_seq;
+        let min_idx = targets
+            .iter()
+            .filter_map(|t| self.hellos.get(t).map(|(i, _)| *i))
+            .min()
+            .unwrap_or(0);
+        // A fresh joiner (index 0, no recovered state) always gets the full
+        // snapshot — replaying the whole history as a delta would be both
+        // slower and indistinguishable from state divergence.
+        let delta_ok = min_idx > 0 && targets.iter().all(|t| match self.hellos.get(t) {
+            // A target at our own index must also match our state
+            // (divergence at equal index needs the full overwrite).
+            Some((i, f)) => {
+                *i < self.applied_index
+                    || (*i == self.applied_index && *f == self.state_fingerprint())
+            }
+            None => false,
+        }) && (min_idx == self.applied_index
+            || self.ring.front().is_some_and(|(i, _)| *i <= min_idx + 1));
+        if delta_ok {
+            let entries: Vec<(u64, Payload)> = self
+                .ring
+                .iter()
+                .filter(|(i, _)| *i > min_idx)
+                .cloned()
+                .collect();
+            self.stats.catch_ups_sent += 1;
+            self.broadcast(ctx, Payload::CatchUp { targets, as_of_seq, entries });
+        } else {
+            let state = self.current_state();
             self.stats.snapshots_sent += 1;
-            let as_of_seq = self.last_applied_seq;
             self.broadcast(
                 ctx,
                 Payload::Snapshot { targets, as_of_seq, state: Box::new(state) },
             );
         }
-        let _ = view;
+    }
+
+    /// A delta donation was ordered. Targets replay the entries their
+    /// recovered state is missing (side effects suppressed — the donor
+    /// replicas performed them live) and resume; every replica clears the
+    /// targets' transfer bookkeeping.
+    fn on_catch_up(
+        &mut self,
+        ctx: &mut Ctx<'_>,
+        targets: Vec<ProcId>,
+        as_of_seq: u64,
+        entries: Vec<(u64, Payload)>,
+    ) {
+        if targets.contains(&ctx.me()) && !matches!(self.sync, SyncMode::Established) {
+            self.stats.catch_ups_applied += 1;
+            self.replaying = true;
+            for (idx, payload) in entries {
+                if idx == self.applied_index + 1 {
+                    self.apply_command(ctx, payload, true);
+                }
+            }
+            self.replaying = false;
+            self.establish(ctx, as_of_seq);
+        }
+        for t in &targets {
+            self.needs_snapshot.remove(t);
+            self.joined_current.remove(t);
+            self.hellos.remove(t);
+        }
     }
 
     fn install_snapshot(&mut self, ctx: &mut Ctx<'_>, as_of_seq: u64, state: ReplicaState) {
@@ -453,13 +822,142 @@ impl JoshuaServer {
             .collect();
         self.needs_snapshot = state.needs_snapshot.into_iter().collect();
         self.needs_snapshot.remove(&ctx.me());
-        // Replay everything ordered after the snapshot's creation point.
-        let buffered = self.awaiting.take().unwrap_or_default();
+        self.applied_index = state.applied_index;
+        self.hellos = state
+            .hellos
+            .into_iter()
+            .map(|(m, i, f)| (m, (i, f)))
+            .collect();
+        // Whatever the ring held belongs to a state we just discarded.
+        self.ring.clear();
+        self.establish(ctx, as_of_seq);
+        // Anchor the adopted state on disk: our WAL has a gap between our
+        // old index and the donor's, so a later crash must recover from
+        // this snapshot, not from the log alone.
+        if self.store.is_some() {
+            let idx = self.applied_index;
+            let state = self.current_state();
+            if let Some(store) = &self.store {
+                let now = ctx.now();
+            if store.save_snapshot(ctx.disk_mut(), now, idx, &state) {
+                    self.stats.snapshots_written += 1;
+                }
+            }
+        }
+    }
+
+    /// Leave the buffering mode: replay everything ordered after the state
+    /// we now hold, then resume live participation.
+    fn establish(&mut self, ctx: &mut Ctx<'_>, as_of_seq: u64) {
+        let buffered = match std::mem::replace(&mut self.sync, SyncMode::Established) {
+            SyncMode::AwaitState(b) | SyncMode::Reconciling(b) => b,
+            SyncMode::Established => Vec::new(),
+        };
         for (seq, payload) in buffered {
             if seq > as_of_seq {
                 self.apply(ctx, seq, payload);
             }
         }
+        self.last_applied_seq = self.last_applied_seq.max(as_of_seq);
+        if self.resync_pending {
+            self.resync(ctx);
+        }
+    }
+
+    /// After a recovery, nudge the world back into motion: re-send mom
+    /// dispatches for jobs the pre-crash life had in flight. Idempotent at
+    /// the mom — a job it still runs yields a progress report, one that
+    /// died with it launches afresh (the jmutex re-grants to the same
+    /// mom). Queued jobs need no kick: scheduling runs deterministically
+    /// inside command application at every replica.
+    fn resync(&mut self, ctx: &mut Ctx<'_>) {
+        self.resync_pending = false;
+        let me = ctx.me();
+        let snap = self.pbs.snapshot();
+        for job in &snap.jobs {
+            let mom = job
+                .allocated
+                .first()
+                .and_then(|node| self.config.nodes.iter().find(|(n, _)| n == node))
+                .map(|(_, m)| *m);
+            let Some(mom) = mom else { continue };
+            match job.state {
+                JobState::Running => {
+                    let msg = MomInbound::Start {
+                        job: job.id,
+                        spec: job.spec.clone(),
+                        nodes: job.allocated.clone(),
+                        server: me,
+                        arbiter: Some(me),
+                    };
+                    ctx.send(mom, msg);
+                }
+                JobState::Exiting => {
+                    ctx.send(mom, MomInbound::Cancel { job: job.id, server: me });
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Install what the local disk vouched for (called before joining the
+    /// group, so nothing here is externally visible).
+    fn adopt_recovery(&mut self, ctx: &mut Ctx<'_>, rec: Recovered) {
+        let mut report = RecoveryReport {
+            torn_tail_truncated: rec.torn_tail_truncated,
+            corruption_offset: rec.corruption_offset,
+            ..RecoveryReport::default()
+        };
+        // Rejoin with a strictly greater incarnation than any we ever
+        // announced, so peers do not mistake us for our dead predecessor.
+        self.group.adopt_incarnation(rec.incarnation + 1);
+        let have_state = rec.state.is_some();
+        if let Some(state) = rec.state {
+            self.pbs.restore(&state.pbs);
+            self.jmutex = state.jmutex;
+            self.applied = state
+                .applied
+                .into_iter()
+                .map(|(c, id, r)| (c, (id, r)))
+                .collect();
+            self.applied_index = state.applied_index;
+        }
+        // Membership bookkeeping from the previous life is stale by
+        // construction — everyone re-announces; donors re-derive needs.
+        self.needs_snapshot.clear();
+        self.hellos.clear();
+        // Replay the log on top. Entries at or below the snapshot index
+        // only rebuild the donation ring; later ones re-run the state
+        // machine with side effects suppressed (the pre-crash life
+        // already performed them; `resync` re-drives what it did not).
+        let snap_index = self.applied_index;
+        self.replaying = true;
+        let mut prev: Option<u64> = None;
+        for (idx, payload) in rec.entries {
+            if let Some(p) = prev {
+                if idx != p + 1 {
+                    // Index gap (an ejection rewound the key space): the
+                    // ring must only ever hold a contiguous run.
+                    self.ring.clear();
+                }
+            }
+            prev = Some(idx);
+            if idx <= snap_index {
+                self.remember(idx, payload);
+            } else if idx == self.applied_index + 1 {
+                self.apply_command(ctx, payload, false);
+                report.wal_replayed += 1;
+            } else {
+                // Unreachable history beyond a gap: drop it.
+                self.ring.clear();
+                prev = None;
+            }
+        }
+        self.replaying = false;
+        report.recovered_index = self.applied_index;
+        report.recovered_fingerprint = self.state_fingerprint();
+        self.resync_pending = have_state || self.applied_index > 0;
+        self.recovery = Some(report);
     }
 
     fn on_ejected(&mut self, ctx: &mut Ctx<'_>) {
@@ -470,13 +968,25 @@ impl JoshuaServer {
         self.applied.clear();
         self.needs_snapshot.clear();
         self.joined_current.clear();
-        self.awaiting = Some(Vec::new());
+        self.sync = SyncMode::AwaitState(Vec::new());
         self.last_applied_seq = 0;
+        self.applied_index = 0;
+        self.ring.clear();
+        self.hellos.clear();
+        self.replaying = false;
+        self.resync_pending = false;
     }
 }
 
 impl Process for JoshuaServer {
     fn on_start(&mut self, ctx: &mut Ctx<'_>) {
+        // Recover whatever the local disk vouches for *before* joining:
+        // the announced index and incarnation depend on it.
+        if let Some(store) = self.store.take() {
+            let rec = store.recover(ctx.disk_mut());
+            self.store = Some(store);
+            self.adopt_recovery(ctx, rec);
+        }
         let out = self.group.start(ctx.now());
         self.flush_gcs(ctx, out);
         let tick = self.config.group.tick_every;
@@ -485,6 +995,17 @@ impl Process for JoshuaServer {
         if self.group.is_installed() {
             for (_, mom) in self.config.nodes.clone() {
                 ctx.send(mom, MomInbound::RegisterServer { server: ctx.me() });
+            }
+            // Cold restart: announce the recovered state so the bootstrap
+            // group can agree whose is the reference (non-initial members
+            // announce on their join view change instead).
+            if self.store.is_some() {
+                let hello = Payload::Hello {
+                    member: ctx.me(),
+                    applied_index: self.applied_index,
+                    fingerprint: self.state_fingerprint(),
+                };
+                self.broadcast(ctx, hello);
             }
         }
     }
@@ -535,6 +1056,7 @@ impl Process for JoshuaServer {
                 mom: req.mom,
                 session: req.session,
                 granter: ctx.me(),
+                reclaim: req.reclaim,
             };
             self.broadcast(ctx, p);
             return;

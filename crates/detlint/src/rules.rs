@@ -30,7 +30,7 @@ impl std::fmt::Display for Violation {
 
 /// Crates whose library code *is* the replicated state machine (or
 /// feeds it): the strictest rules apply here.
-pub const REPLICATED_CRATES: &[&str] = &["gcs", "pbs", "core", "joshua-repro"];
+pub const REPLICATED_CRATES: &[&str] = &["gcs", "pbs", "core", "store", "joshua-repro"];
 
 /// Files forming the GCS delivery hot path: total-order engines and the
 /// reliable link layer. A panic here kills a replica on the very code
@@ -89,7 +89,7 @@ pub struct Rule {
 pub const RULES: &[Rule] = &[
     Rule {
         code: "D001",
-        summary: "no HashMap/HashSet in replicated-state crates (gcs, pbs, core, root) — use BTreeMap/BTreeSet or an explicitly sorted snapshot",
+        summary: "no HashMap/HashSet in replicated-state crates (gcs, pbs, core, store, root) — use BTreeMap/BTreeSet or an explicitly sorted snapshot",
         why: "std hash maps are seeded per-process (SipHash with random keys); iterating one inside the apply path gives every replica a different order, and any order-dependent effect (snapshot digests, tie-breaking, message emission order) silently diverges",
     },
     Rule {
@@ -104,7 +104,7 @@ pub const RULES: &[Rule] = &[
     },
     Rule {
         code: "D004",
-        summary: "no f32/f64 fields in replicated-state structs/enums (gcs, pbs, core, root; the availability crate is exempt)",
+        summary: "no f32/f64 fields in replicated-state structs/enums (gcs, pbs, core, store, root; the availability crate is exempt)",
         why: "floating-point accumulation order and platform rounding are not bit-stable guarantees; integer nanoseconds / counts keep snapshot comparison exact (store floats only in analysis/metrics code)",
     },
     Rule {

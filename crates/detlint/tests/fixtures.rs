@@ -33,6 +33,16 @@ fn d001_scoped_out_of_analysis_crates() {
     assert!(check_source("crates/detlint/src/fixture.rs", src).is_empty());
 }
 
+/// The durable-state crate feeds recovered bytes straight back into the
+/// replicated state machine, so the strict replicated-crate rules cover
+/// it too.
+#[test]
+fn store_crate_is_replicated_scope() {
+    let src = "use std::collections::HashMap;\nstruct Index {\n    offsets: HashMap<u64, u64>,\n}\n";
+    let v = check_source("crates/store/src/fixture.rs", src);
+    assert!(v.iter().any(|v| v.rule == "D001"), "{v:?}");
+}
+
 /// D002: wall-clock reads outside the simulator.
 #[test]
 fn d002_wall_clock_flagged() {

@@ -421,6 +421,16 @@ impl<P: Clone> Engine<P> {
         self.core().active
     }
 
+    /// Forget a submitter's dedup/assignment floors. A fresh join episode
+    /// rebuilds that member's engine from scratch (local ids restart at
+    /// 1), so floors inherited from its previous life would silently
+    /// swallow everything the new life submits.
+    pub fn reset_submitter(&mut self, p: ProcId) {
+        let core = self.core_mut();
+        core.dedup.remove(&p);
+        core.assign_floor.remove(&p);
+    }
+
     /// Submit an application payload for total ordering.
     pub fn submit(&mut self, now: SimTime, payload: P) -> EngineOut<P> {
         let core = self.core_mut();

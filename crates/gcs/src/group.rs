@@ -228,6 +228,33 @@ impl<P: Clone + 'static> GroupMember<P> {
         }
     }
 
+    /// Start this member's join protocol at `incarnation` (builder-style).
+    ///
+    /// Members ignore a `JoinReq` whose incarnation is not strictly
+    /// greater than the highest they have ever seen from that `ProcId`, so
+    /// a **restarted** process reusing its id would be silently ignored if
+    /// it started again from incarnation 1. A recovery harness passes the
+    /// sim world's per-process restart counter here; values lower than the
+    /// default are ignored.
+    pub fn with_incarnation(mut self, incarnation: u64) -> Self {
+        self.adopt_incarnation(incarnation);
+        self
+    }
+
+    /// In-place variant of [`Self::with_incarnation`] for recovery paths
+    /// that learn the persisted incarnation only after construction (the
+    /// durable store is readable from process context, not constructors).
+    pub fn adopt_incarnation(&mut self, incarnation: u64) {
+        self.incarnation = self.incarnation.max(incarnation);
+    }
+
+    /// The incarnation this member would announce in its next `JoinReq`.
+    /// Recovery persists it so a restarted process can rejoin with a
+    /// strictly greater one.
+    pub fn incarnation(&self) -> u64 {
+        self.incarnation
+    }
+
     // ------------------------------------------------------------------
     // Accessors
     // ------------------------------------------------------------------
@@ -1083,6 +1110,12 @@ impl<P: Clone + 'static> GroupMember<P> {
         // 3. Restart the engine in the new view (resubmits own pendings).
         let leader = view.leader() == Some(self.me);
         let eo = self.engine.install(now, view.members.clone(), next_seq, dedup, leader);
+        // Joiners start a fresh submission stream: drop any floors their
+        // previous life left in the merged dedup state (every replica does
+        // this identically, so the floors stay agreed).
+        for j in &joined {
+            self.engine.reset_submitter(*j);
+        }
         self.absorb_engine(now, eo, out);
         // 4. Tell the application.
         out.events.push(GcsEvent::ViewChange { view, joined, left });

@@ -73,7 +73,7 @@ fn agreement_over_default_hub_network() {
 #[test]
 fn agreement_under_five_percent_loss() {
     let mut net = NetworkConfig::default();
-    net.lan.drop_prob = 0.05;
+    net.lan.drop_prob = 50; // 5% loss, per-mille
     let mut c = build(3, 7, net, GroupConfig::default());
     for i in 0..30u32 {
         let who = c.procs[(i % 3) as usize];

@@ -589,7 +589,7 @@ impl World {
                 }
             }
             McPayload::Acquire { job, session, granter } => {
-                let outcome = app.jmutex.acquire(job, MOM, session, granter);
+                let outcome = app.jmutex.acquire(job, MOM, session, granter, false);
                 // The forwarding head sends the verdict; if it left the
                 // view while the acquire was in flight, the responder
                 // covers for it (deterministic at every replica).

@@ -25,6 +25,7 @@
 
 #![warn(missing_docs)]
 
+pub mod codec;
 pub mod job;
 pub mod mom;
 pub mod proc;

@@ -78,6 +78,11 @@ pub enum MomAction {
         job: JobId,
         /// This session.
         session: u64,
+        /// True when this is a post-reboot reclaim: the mom concluded the
+        /// standing grant belongs to a previous life of itself (every
+        /// session denied while still arbitrating) and asks the arbiter
+        /// to adopt this fresh session.
+        reclaim: bool,
     },
     /// Release the launch mutex after completion (jdone).
     ReleaseArbiter {
@@ -104,6 +109,8 @@ pub enum MomAction {
 struct Session {
     id: u64,
     arbiter: Option<ProcId>,
+    /// The arbiter denied this session.
+    denied: bool,
 }
 
 #[derive(Clone, Debug, PartialEq, Eq)]
@@ -126,6 +133,8 @@ struct MomJob {
     /// Launch sessions by requesting head.
     sessions: BTreeMap<ProcId, Session>,
     phase: Phase,
+    /// A post-reboot reclaim was already fired (at most one per job).
+    reclaimed: bool,
 }
 
 /// The mom state machine. Timers are owned by the embedding process; the
@@ -206,18 +215,62 @@ impl PbsMomCore {
             interested: BTreeSet::new(),
             sessions: BTreeMap::new(),
             phase: Phase::Arbitrating,
+            reclaimed: false,
         });
-        if !entry.interested.insert(server) {
-            // Duplicate start attempt from the same head: ignore.
-            return vec![];
+        if entry.interested.contains(&server) {
+            // Repeated attempt from a head we already know — a restarted
+            // head re-dispatching after recovery. Answer by phase so the
+            // retry converges instead of dropping it on the floor.
+            match entry.phase {
+                Phase::Arbitrating => {
+                    // Re-ask through the existing session (no second
+                    // ballot); the retry may name a replacement arbiter.
+                    let Some(sess) = entry.sessions.get_mut(&server) else {
+                        return vec![];
+                    };
+                    if arbiter.is_some() {
+                        sess.arbiter = arbiter;
+                    }
+                    let (id, arb) = (sess.id, sess.arbiter);
+                    return match arb {
+                        Some(a) => {
+                            vec![MomAction::AskArbiter {
+                                arbiter: a,
+                                job,
+                                session: id,
+                                reclaim: false,
+                            }]
+                        }
+                        None => self.grant(job, server),
+                    };
+                }
+                Phase::Running { .. } => {
+                    return vec![MomAction::Report {
+                        to: server,
+                        report: MomReport::Started { job },
+                    }];
+                }
+                Phase::Done { exit } => {
+                    return vec![
+                        MomAction::Report { to: server, report: MomReport::Started { job } },
+                        MomAction::Report {
+                            to: server,
+                            report: MomReport::Finished { job, exit },
+                        },
+                    ];
+                }
+            }
         }
+        entry.interested.insert(server);
         match entry.phase {
             Phase::Arbitrating => {
                 let id = *next_session;
                 *next_session += 1;
-                entry.sessions.insert(server, Session { id, arbiter });
+                entry.sessions.insert(server, Session { id, arbiter, denied: false });
                 match arbiter {
-                    Some(a) => vec![MomAction::AskArbiter { arbiter: a, job, session: id }],
+                    Some(a) => {
+                        vec![MomAction::AskArbiter { arbiter: a, job, session: id, reclaim: false }]
+                    }
                     // Local grant (plain single-head PBS): run immediately.
                     None => self.grant(job, server),
                 }
@@ -235,18 +288,39 @@ impl PbsMomCore {
     }
 
     fn on_verdict(&mut self, job: JobId, session: u64, granted: bool) -> Vec<MomAction> {
-        let Some(entry) = self.jobs.get(&job) else {
+        let next_session = &mut self.next_session;
+        let Some(entry) = self.jobs.get_mut(&job) else {
             return vec![];
         };
         let Some((&server, _)) = entry.sessions.iter().find(|(_, s)| s.id == session) else {
             return vec![];
         };
         if granted {
-            self.grant(job, server)
-        } else {
-            // Denied: emulate the start for this head only.
-            vec![MomAction::Report { to: server, report: MomReport::Started { job } }]
+            return self.grant(job, server);
         }
+        if let Some(sess) = entry.sessions.get_mut(&server) {
+            sess.denied = true;
+        }
+        // Reboot signature: in steady state exactly one of a job's sessions
+        // wins the mutex, so "still arbitrating and every session denied"
+        // can only mean the standing grant belongs to a previous life of
+        // this mom — the launch died with it. Reclaim once with a fresh
+        // session; the arbiters adopt it because it comes from the same mom.
+        if matches!(entry.phase, Phase::Arbitrating)
+            && !entry.reclaimed
+            && entry.sessions.values().all(|s| s.denied)
+        {
+            entry.reclaimed = true;
+            let id = *next_session;
+            *next_session += 1;
+            let arbiter = entry.sessions.get(&server).and_then(|s| s.arbiter);
+            entry.sessions.insert(server, Session { id, arbiter, denied: false });
+            if let Some(a) = arbiter {
+                return vec![MomAction::AskArbiter { arbiter: a, job, session: id, reclaim: true }];
+            }
+        }
+        // Denied: emulate the start for this head only.
+        vec![MomAction::Report { to: server, report: MomReport::Started { job } }]
     }
 
     /// A session won the launch mutex (or local grant): really execute.
@@ -388,7 +462,7 @@ mod tests {
         let acts = mom.on_msg(start(1, 10, Some(99)));
         assert_eq!(acts.len(), 1);
         let session = match &acts[0] {
-            MomAction::AskArbiter { arbiter, job, session } => {
+            MomAction::AskArbiter { arbiter, job, session, .. } => {
                 assert_eq!(*arbiter, ProcId(99));
                 assert_eq!(*job, JobId(1));
                 *session
@@ -467,12 +541,45 @@ mod tests {
     }
 
     #[test]
-    fn duplicate_start_from_same_head_ignored() {
+    fn duplicate_start_reasks_arbiter_through_same_session() {
         let mut mom = PbsMomCore::new("c00");
         let a1 = mom.on_msg(start(1, 10, Some(99)));
-        assert_eq!(a1.len(), 1);
-        let a2 = mom.on_msg(start(1, 10, Some(99)));
-        assert!(a2.is_empty());
+        let s1 = match &a1[..] {
+            [MomAction::AskArbiter { session, .. }] => *session,
+            other => panic!("{other:?}"),
+        };
+        // Head 10 restarts and re-dispatches, now naming a fresh arbiter.
+        let a2 = mom.on_msg(start(1, 10, Some(98)));
+        match &a2[..] {
+            [MomAction::AskArbiter { arbiter, session, .. }] => {
+                assert_eq!(*arbiter, ProcId(98), "retry follows the new arbiter");
+                assert_eq!(*session, s1, "same session, no second ballot");
+            }
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(mom.real_runs, 0);
+    }
+
+    #[test]
+    fn duplicate_start_while_running_emulates() {
+        let mut mom = PbsMomCore::new("c00");
+        let _ = mom.on_msg(start(1, 10, None));
+        let a2 = mom.on_msg(start(1, 10, None));
+        assert_eq!(reports(&a2), vec![(ProcId(10), MomReport::Started { job: JobId(1) })]);
+        assert_eq!(mom.real_runs, 1, "retry never re-executes");
+    }
+
+    #[test]
+    fn duplicate_start_after_completion_replays_both_reports() {
+        let mut mom = PbsMomCore::new("c00");
+        let _ = mom.on_msg(start(1, 10, None));
+        let _ = mom.on_timer(JobId(1));
+        let a2 = mom.on_msg(start(1, 10, None));
+        let r = reports(&a2);
+        assert_eq!(r.len(), 2);
+        assert!(matches!(r[0].1, MomReport::Started { .. }));
+        assert!(matches!(r[1].1, MomReport::Finished { .. }));
+        assert_eq!(mom.real_runs, 1);
     }
 
     #[test]

@@ -42,6 +42,8 @@ pub struct ArbiterRequest {
     pub session: u64,
     /// The mom process (verdict goes back there).
     pub mom: ProcId,
+    /// Post-reboot reclaim (see [`MomAction::AskArbiter`]).
+    pub reclaim: bool,
 }
 
 /// Mutex release after job completion (jdone).
@@ -173,8 +175,8 @@ impl PbsMomProcess {
         for a in actions {
             match a {
                 MomAction::Report { to, report } => ctx.send(to, report),
-                MomAction::AskArbiter { arbiter, job, session } => {
-                    ctx.send(arbiter, ArbiterRequest { job, session, mom: ctx.me() });
+                MomAction::AskArbiter { arbiter, job, session, reclaim } => {
+                    ctx.send(arbiter, ArbiterRequest { job, session, mom: ctx.me(), reclaim });
                 }
                 MomAction::ReleaseArbiter { arbiter, job } => {
                     ctx.send(arbiter, ArbiterRelease { job, mom: ctx.me() });

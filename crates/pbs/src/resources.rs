@@ -49,6 +49,11 @@ impl NodePool {
         NodePool { nodes }
     }
 
+    /// Pool from fully described nodes (decoding a durable snapshot).
+    pub fn from_nodes(nodes: impl IntoIterator<Item = ComputeNode>) -> Self {
+        NodePool { nodes: nodes.into_iter().map(|n| (n.name.clone(), n)).collect() }
+    }
+
     /// Register (or update) the mom process for a node.
     pub fn set_mom(&mut self, name: &str, mom: ProcId) {
         if let Some(n) = self.nodes.get_mut(name) {

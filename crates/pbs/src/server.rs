@@ -323,6 +323,13 @@ impl PbsServerCore {
         }
     }
 
+    /// Run a scheduling pass outside the normal command/report triggers.
+    /// Recovery uses this after restoring durable state: queued jobs must
+    /// not wait for the next client command to be considered.
+    pub fn kick_schedule(&mut self, now: SimTime) -> Vec<ServerAction> {
+        self.schedule(now)
+    }
+
     fn schedule(&mut self, now: SimTime) -> Vec<ServerAction> {
         let mut actions = Vec::new();
         loop {

@@ -6,11 +6,15 @@
 //! failure experiments are reproducible and assertable.
 
 use crate::ids::{NodeId, ProcId};
-use crate::time::SimTime;
+use crate::network::per_mille;
+use crate::time::{SimDuration, SimTime};
 use crate::world::World;
 
 /// One scripted fault (or repair) action.
-#[derive(Clone, Debug, PartialEq)]
+///
+/// All parameters are exact integers, so actions derive `Eq`/`Hash` and
+/// fault plans are exactly comparable in traces and model-checker states.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
 pub enum FaultAction {
     /// Power off a node: every process on it dies instantly.
     CrashNode(NodeId),
@@ -34,9 +38,42 @@ pub enum FaultAction {
         from: NodeId,
         /// Receiving node.
         to: NodeId,
-        /// Loss probability in `[0, 1]`.
-        p: f64,
+        /// Loss probability in per-mille (0..=1000); see
+        /// [`FaultAction::pair_loss`] for an `f64` convenience constructor.
+        per_mille: u32,
     },
+    /// Arm torn-write damage on a node's disk: the next crash rolls the
+    /// most recently fsynced batch back to a `keep_bytes` prefix.
+    TornWrite {
+        /// The node whose disk is damaged.
+        node: NodeId,
+        /// Bytes of the last fsync batch that actually reach the platter.
+        keep_bytes: u32,
+    },
+    /// Flip one durable byte on a node's disk (silent media corruption).
+    CorruptRecord {
+        /// The node whose disk is damaged.
+        node: NodeId,
+        /// File to corrupt.
+        file: String,
+        /// Byte offset within the file's durable content.
+        offset: u64,
+    },
+    /// Stall a node's disk: fsyncs are silent no-ops for `duration`.
+    DiskStall {
+        /// The node whose disk stalls.
+        node: NodeId,
+        /// How long the device stops acknowledging flushes.
+        duration: SimDuration,
+    },
+}
+
+impl FaultAction {
+    /// Convenience constructor: a [`FaultAction::PairLoss`] from a
+    /// probability in `[0, 1]` (converted to per-mille).
+    pub fn pair_loss(from: NodeId, to: NodeId, p: f64) -> Self {
+        FaultAction::PairLoss { from, to, per_mille: per_mille(p) }
+    }
 }
 
 /// A time-ordered script of fault actions.
@@ -89,8 +126,18 @@ impl FaultPlan {
                 FaultAction::HealPartitions => {
                     w.network_mut().heal_partitions();
                 }
-                FaultAction::PairLoss { from, to, p } => {
-                    w.network_mut().set_pair_loss(from, to, p);
+                FaultAction::PairLoss { from, to, per_mille } => {
+                    w.network_mut().set_pair_loss(from, to, per_mille);
+                }
+                FaultAction::TornWrite { node, keep_bytes } => {
+                    w.disk_mut(node).arm_torn_write(keep_bytes);
+                }
+                FaultAction::CorruptRecord { node, file, offset } => {
+                    let _ = w.disk_mut(node).corrupt_byte(&file, offset);
+                }
+                FaultAction::DiskStall { node, duration } => {
+                    let until = w.now() + duration;
+                    w.disk_mut(node).stall_until(until);
                 }
             });
         }
@@ -136,14 +183,57 @@ mod tests {
         let t = SimTime::ZERO + SimDuration::from_secs(1);
         FaultPlan::new()
             .at(SimTime::ZERO, FaultAction::Partition { node: a, group: 1 })
-            .at(SimTime::ZERO, FaultAction::PairLoss { from: a, to: b, p: 0.5 })
+            .at(SimTime::ZERO, FaultAction::pair_loss(a, b, 0.5))
             .at(t, FaultAction::HealPartitions)
-            .at(t, FaultAction::PairLoss { from: a, to: b, p: 0.0 })
+            .at(t, FaultAction::PairLoss { from: a, to: b, per_mille: 0 })
             .apply(&mut w);
         w.run_until(SimTime::ZERO + SimDuration::from_millis(10));
         assert_eq!(w.network().group_of(a), 1);
         w.run_until(SimTime::ZERO + SimDuration::from_secs(2));
         assert_eq!(w.network().group_of(a), 0);
+    }
+
+    #[test]
+    fn pair_loss_convenience_converts_to_per_mille() {
+        let (a, b) = (NodeId(0), NodeId(1));
+        assert_eq!(
+            FaultAction::pair_loss(a, b, 0.25),
+            FaultAction::PairLoss { from: a, to: b, per_mille: 250 }
+        );
+    }
+
+    #[test]
+    fn disk_fault_actions_hit_the_disk() {
+        let mut w = World::with_network(0, NetworkConfig::ideal());
+        let a = w.add_node("a");
+        w.disk_mut(a).append("wal", b"aaaa");
+        let now = w.now();
+        assert!(w.disk_mut(a).fsync("wal", now));
+        let t1 = SimTime::ZERO + SimDuration::from_secs(1);
+        let t2 = SimTime::ZERO + SimDuration::from_secs(2);
+        FaultPlan::new()
+            .at(t1, FaultAction::CorruptRecord { node: a, file: "wal".into(), offset: 0 })
+            .at(t1, FaultAction::DiskStall { node: a, duration: SimDuration::from_secs(10) })
+            .at(t1, FaultAction::TornWrite { node: a, keep_bytes: 1 })
+            .at(t2, FaultAction::CrashNode(a))
+            .apply(&mut w);
+        w.run_until(SimTime::ZERO + SimDuration::from_secs(3));
+        // Corruption flipped the first byte; the armed torn write then tore
+        // the (already-synced) batch back to 1 byte at crash time.
+        assert_eq!(w.disk(a).read("wal").unwrap(), vec![b'a' ^ 0xFF]);
+        // The stall was active between t1 and the crash.
+        w.disk_mut(a).append("wal", b"x");
+        let now = w.now();
+        assert!(w.disk_mut(a).fsync("wal", now), "crash clears the stall");
+    }
+
+    #[test]
+    fn fault_actions_are_hashable() {
+        let mut set = std::collections::HashSet::new();
+        set.insert(FaultAction::HealPartitions);
+        set.insert(FaultAction::pair_loss(NodeId(0), NodeId(1), 0.5));
+        set.insert(FaultAction::pair_loss(NodeId(0), NodeId(1), 0.5));
+        assert_eq!(set.len(), 2);
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * **Fault injection** ([`fault`]) — scripted crashes, partitions and
 //!   repairs: the reproducible equivalent of "unplugging network cables and
 //!   forcibly shutting down individual processes".
+//! * **Per-node disks** ([`disk`]) — deterministic simulated storage with
+//!   explicit write/fsync semantics that survives node crashes, plus
+//!   injectable torn writes, corruption and stalls.
 //! * **Measurement** ([`metrics`], [`trace`]) — virtual-time histograms and
 //!   a structured event trace.
 //!
@@ -39,6 +42,7 @@
 
 #![warn(missing_docs)]
 
+pub mod disk;
 pub mod fault;
 pub mod fingerprint;
 mod ids;
@@ -49,9 +53,10 @@ mod time;
 pub mod trace;
 mod world;
 
+pub use disk::SimDisk;
 pub use fingerprint::{fingerprint, Fnv64};
 pub use ids::{NodeId, ProcId, TimerId};
-pub use network::{HubConfig, Latency, LinkConfig, NetworkConfig};
+pub use network::{per_mille, HubConfig, Latency, LinkConfig, NetworkConfig};
 pub use process::{Ctx, Msg, Process, EXTERNAL};
 pub use time::{SimDuration, SimTime};
 pub use world::{Emitted, Thunk, World};

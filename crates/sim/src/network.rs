@@ -20,6 +20,21 @@ use rand::rngs::StdRng;
 use rand::RngExt;
 use std::collections::HashMap;
 
+/// Convert a probability in `[0, 1]` to deterministic per-mille (0..=1000).
+///
+/// Loss knobs are stored as integer per-mille so fault actions and network
+/// configs are exactly comparable (`Eq`/`Hash`) and traces never depend on
+/// float formatting.
+pub fn per_mille(p: f64) -> u32 {
+    (p.clamp(0.0, 1.0) * 1000.0).round() as u32
+}
+
+/// Sample a per-mille probability: true with probability `pm / 1000`.
+#[inline]
+fn sample_per_mille(rng: &mut StdRng, pm: u32) -> bool {
+    rng.random_range(0..1000u32) < pm
+}
+
 /// A latency distribution for a link.
 #[derive(Clone, Debug)]
 pub enum Latency {
@@ -86,8 +101,9 @@ impl Latency {
 pub struct LinkConfig {
     /// Propagation + stack latency distribution.
     pub latency: Latency,
-    /// Probability that a message is silently lost.
-    pub drop_prob: f64,
+    /// Probability that a message is silently lost, in per-mille
+    /// (0..=1000; see [`per_mille`]).
+    pub drop_prob: u32,
     /// Per-link serialization bandwidth. `None` means infinitely fast
     /// (transmission time is folded into `latency`).
     pub bandwidth_bytes_per_sec: Option<u64>,
@@ -98,7 +114,7 @@ impl LinkConfig {
     pub fn constant(latency: SimDuration) -> Self {
         LinkConfig {
             latency: Latency::Constant(latency),
-            drop_prob: 0.0,
+            drop_prob: 0,
             bandwidth_bytes_per_sec: None,
         }
     }
@@ -145,7 +161,7 @@ impl Default for NetworkConfig {
                     min: SimDuration::from_micros(40),
                     max: SimDuration::from_micros(80),
                 },
-                drop_prob: 0.0,
+                drop_prob: 0,
                 bandwidth_bytes_per_sec: None,
             },
             lan: LinkConfig {
@@ -154,7 +170,7 @@ impl Default for NetworkConfig {
                     stddev: SimDuration::from_micros(40),
                     floor: SimDuration::from_micros(90),
                 },
-                drop_prob: 0.0,
+                drop_prob: 0,
                 bandwidth_bytes_per_sec: None,
             },
             hub: Some(HubConfig::fast_ethernet()),
@@ -173,10 +189,11 @@ impl NetworkConfig {
         }
     }
 
-    /// A lossy LAN for stress-testing retransmission logic.
+    /// A lossy LAN for stress-testing retransmission logic (`drop_prob` is
+    /// a probability in `[0, 1]`, converted to per-mille internally).
     pub fn lossy(drop_prob: f64) -> Self {
         let mut cfg = NetworkConfig::ideal();
-        cfg.lan.drop_prob = drop_prob;
+        cfg.lan.drop_prob = per_mille(drop_prob);
         cfg
     }
 }
@@ -207,8 +224,9 @@ pub struct Network {
     config: NetworkConfig,
     /// Partition group per node; nodes talk only within their group.
     groups: HashMap<NodeId, u32>,
-    /// Extra drop probability per directed node pair (e.g. a flaky cable).
-    pair_loss: HashMap<(NodeId, NodeId), f64>,
+    /// Extra drop probability per directed node pair (e.g. a flaky cable),
+    /// in per-mille.
+    pair_loss: HashMap<(NodeId, NodeId), u32>,
     /// When the shared hub becomes free again.
     hub_free_at: SimTime,
     /// Messages handed to the network.
@@ -257,12 +275,13 @@ impl Network {
         self.groups.get(&node).copied().unwrap_or(0)
     }
 
-    /// Set an extra directed loss probability between two nodes.
-    pub fn set_pair_loss(&mut self, from: NodeId, to: NodeId, p: f64) {
-        if p <= 0.0 {
+    /// Set an extra directed loss probability between two nodes, in
+    /// per-mille (0..=1000; 0 removes the entry, values above 1000 clamp).
+    pub fn set_pair_loss(&mut self, from: NodeId, to: NodeId, pm: u32) {
+        if pm == 0 {
             self.pair_loss.remove(&(from, to));
         } else {
-            self.pair_loss.insert((from, to), p.min(1.0));
+            self.pair_loss.insert((from, to), pm.min(1000));
         }
     }
 
@@ -285,8 +304,8 @@ impl Network {
             self.dropped_partition += 1;
             return Outcome::Drop(DropReason::Partition);
         }
-        if let Some(&p) = self.pair_loss.get(&(from_node, to_node)) {
-            if rng.random::<f64>() < p {
+        if let Some(&pm) = self.pair_loss.get(&(from_node, to_node)) {
+            if sample_per_mille(rng, pm) {
                 self.dropped_loss += 1;
                 return Outcome::Drop(DropReason::Loss);
             }
@@ -315,7 +334,7 @@ impl Network {
         bytes: u32,
         queueing: SimDuration,
     ) -> Outcome {
-        if link.drop_prob > 0.0 && rng.random::<f64>() < link.drop_prob {
+        if link.drop_prob > 0 && sample_per_mille(rng, link.drop_prob) {
             self.dropped_loss += 1;
             return Outcome::Drop(DropReason::Loss);
         }
@@ -414,7 +433,7 @@ mod tests {
     fn pair_loss_applies() {
         let mut net = Network::new(NetworkConfig::ideal());
         let mut r = rng();
-        net.set_pair_loss(NodeId(0), NodeId(1), 1.0);
+        net.set_pair_loss(NodeId(0), NodeId(1), 1000);
         assert_eq!(
             net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 10),
             Outcome::Drop(DropReason::Loss)
@@ -424,7 +443,7 @@ mod tests {
             net.route(&mut r, SimTime::ZERO, NodeId(1), NodeId(0), 10),
             Outcome::Deliver(_)
         ));
-        net.set_pair_loss(NodeId(0), NodeId(1), 0.0);
+        net.set_pair_loss(NodeId(0), NodeId(1), 0);
         assert!(matches!(
             net.route(&mut r, SimTime::ZERO, NodeId(0), NodeId(1), 10),
             Outcome::Deliver(_)
@@ -470,6 +489,18 @@ mod tests {
             other => panic!("{other:?}"),
         };
         assert!(d < SimDuration::from_millis(2));
+    }
+
+    #[test]
+    fn per_mille_rounds_and_clamps() {
+        assert_eq!(per_mille(0.0), 0);
+        assert_eq!(per_mille(0.05), 50);
+        assert_eq!(per_mille(0.5), 500);
+        assert_eq!(per_mille(1.0), 1000);
+        assert_eq!(per_mille(2.5), 1000);
+        assert_eq!(per_mille(-0.3), 0);
+        assert_eq!(per_mille(0.0004), 0);
+        assert_eq!(per_mille(0.0006), 1);
     }
 
     #[test]

@@ -6,6 +6,7 @@
 //! [`Ctx`] handle, which keeps the state machines free of I/O and makes the
 //! whole simulation deterministic and single-steppable.
 
+use crate::disk::SimDisk;
 use crate::ids::{NodeId, ProcId, TimerId};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::TraceEvent;
@@ -139,5 +140,29 @@ impl Ctx<'_> {
     /// harness/test processes.
     pub fn is_alive(&self, p: ProcId) -> bool {
         self.world.is_proc_alive(p)
+    }
+
+    /// This node's simulated disk.
+    pub fn disk(&self) -> &SimDisk {
+        self.world.disk(self.world.node_of(self.me))
+    }
+
+    /// This node's simulated disk, mutable.
+    pub fn disk_mut(&mut self) -> &mut SimDisk {
+        let node = self.world.node_of(self.me);
+        self.world.disk_mut(node)
+    }
+
+    /// Fsync a file on this node's disk at the current virtual time
+    /// (honours injected disk stalls). Returns `true` when durable.
+    pub fn fsync(&mut self, path: &str) -> bool {
+        let now = self.world.now();
+        let node = self.world.node_of(self.me);
+        self.world.disk_mut(node).fsync(path, now)
+    }
+
+    /// This process' incarnation (1 unless it has been restarted).
+    pub fn incarnation(&self) -> u32 {
+        self.world.proc_incarnation(self.me)
     }
 }

@@ -101,7 +101,7 @@ proptest! {
     fn route_outcomes_sane(
         seed in any::<u64>(),
         bytes in 1u32..9000,
-        drop_prob in 0.0f64..1.0,
+        drop_prob in 0u32..=1000,
     ) {
         let mut cfg = NetworkConfig::ideal();
         cfg.lan.drop_prob = drop_prob;
@@ -117,7 +117,7 @@ proptest! {
                 Outcome::Drop(_) => {}
             }
         }
-        if drop_prob == 0.0 {
+        if drop_prob == 0 {
             prop_assert_eq!(delivered, 100);
         }
         prop_assert_eq!(net.sent, 100);

@@ -1,0 +1,343 @@
+//! Minimal deterministic binary codec for durable records.
+//!
+//! Fixed-width little-endian integers, length-prefixed containers, no
+//! self-description: both sides of the WAL are the same build of the same
+//! binary, so the format only needs to be deterministic and checkable, not
+//! evolvable. Anything whose bytes land in the WAL derives its encoding by
+//! implementing [`Codec`] field by field (the detlint rules D001–D005 apply
+//! to all such types).
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Why a decode failed. Recovery treats any decode error inside a
+/// CRC-valid record as a hard bug, not disk damage (the CRC already
+/// vouched for the bytes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Ran out of bytes.
+    Eof,
+    /// A tag or invariant didn't match (e.g. unknown enum discriminant).
+    Invalid(&'static str),
+}
+
+impl std::fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DecodeError::Eof => write!(f, "unexpected end of record"),
+            DecodeError::Invalid(what) => write!(f, "invalid encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// A cursor over an encoded record.
+pub struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    /// Start reading at the front of `buf`.
+    pub fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether every byte has been consumed.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Take `n` raw bytes.
+    pub fn take(&mut self, n: usize) -> Result<&'a [u8], DecodeError> {
+        if self.remaining() < n {
+            return Err(DecodeError::Eof);
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+}
+
+/// Deterministic binary encoding/decoding of one type.
+pub trait Codec: Sized {
+    /// Append this value's encoding to `out`.
+    fn encode(&self, out: &mut Vec<u8>);
+    /// Decode one value from the reader.
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError>;
+
+    /// Encode into a fresh buffer.
+    fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        self.encode(&mut out);
+        out
+    }
+
+    /// Decode from a complete buffer, requiring every byte to be consumed.
+    fn from_bytes(buf: &[u8]) -> Result<Self, DecodeError> {
+        let mut r = Reader::new(buf);
+        let v = Self::decode(&mut r)?;
+        if !r.is_empty() {
+            return Err(DecodeError::Invalid("trailing bytes"));
+        }
+        Ok(v)
+    }
+}
+
+macro_rules! int_codec {
+    ($($t:ty),*) => {$(
+        impl Codec for $t {
+            fn encode(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+                let bytes = r.take(std::mem::size_of::<$t>())?;
+                Ok(<$t>::from_le_bytes(bytes.try_into().expect("sized take")))
+            }
+        }
+    )*};
+}
+
+int_codec!(u8, u16, u32, u64, i8, i16, i32, i64);
+
+impl Codec for bool {
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(*self));
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Invalid("bool")),
+        }
+    }
+}
+
+impl Codec for char {
+    fn encode(&self, out: &mut Vec<u8>) {
+        u32::from(*self).encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        char::from_u32(u32::decode(r)?).ok_or(DecodeError::Invalid("char"))
+    }
+}
+
+fn encode_len(len: usize, out: &mut Vec<u8>) {
+    u32::try_from(len).expect("container too large for WAL record").encode(out);
+}
+
+fn decode_len(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    let len = u32::decode(r)?;
+    let len = usize::try_from(len).map_err(|_| DecodeError::Invalid("length"))?;
+    // A length can never exceed the bytes left (items are ≥1 byte each);
+    // reject early so corrupt lengths can't trigger huge allocations.
+    if len > r.remaining() {
+        return Err(DecodeError::Eof);
+    }
+    Ok(len)
+}
+
+impl Codec for String {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        out.extend_from_slice(self.as_bytes());
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r)?;
+        let bytes = r.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| DecodeError::Invalid("utf-8"))
+    }
+}
+
+impl<T: Codec> Codec for Option<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(None),
+            1 => Ok(Some(T::decode(r)?)),
+            _ => Err(DecodeError::Invalid("option tag")),
+        }
+    }
+}
+
+impl<T: Codec> Codec for Vec<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r)?;
+        let mut out = Vec::with_capacity(len);
+        for _ in 0..len {
+            out.push(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<K: Codec + Ord, V: Codec> Codec for BTreeMap<K, V> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for (k, v) in self {
+            k.encode(out);
+            v.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r)?;
+        let mut out = BTreeMap::new();
+        for _ in 0..len {
+            let k = K::decode(r)?;
+            let v = V::decode(r)?;
+            out.insert(k, v);
+        }
+        Ok(out)
+    }
+}
+
+impl<T: Codec + Ord> Codec for BTreeSet<T> {
+    fn encode(&self, out: &mut Vec<u8>) {
+        encode_len(self.len(), out);
+        for item in self {
+            item.encode(out);
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        let len = decode_len(r)?;
+        let mut out = BTreeSet::new();
+        for _ in 0..len {
+            out.insert(T::decode(r)?);
+        }
+        Ok(out)
+    }
+}
+
+impl<A: Codec, B: Codec> Codec for (A, B) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?))
+    }
+}
+
+impl Codec for jrs_sim::ProcId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(jrs_sim::ProcId(u32::decode(r)?))
+    }
+}
+
+impl Codec for jrs_sim::NodeId {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(jrs_sim::NodeId(u32::decode(r)?))
+    }
+}
+
+impl Codec for jrs_sim::SimDuration {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(jrs_sim::SimDuration::from_nanos(u64::decode(r)?))
+    }
+}
+
+impl Codec for jrs_sim::SimTime {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.as_nanos().encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(jrs_sim::SimTime::from_nanos(u64::decode(r)?))
+    }
+}
+
+impl<A: Codec, B: Codec, C: Codec> Codec for (A, B, C) {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.0.encode(out);
+        self.1.encode(out);
+        self.2.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok((A::decode(r)?, B::decode(r)?, C::decode(r)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip<T: Codec + PartialEq + std::fmt::Debug>(v: T) {
+        let bytes = v.to_bytes();
+        assert_eq!(T::from_bytes(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn scalars_round_trip() {
+        round_trip(0u8);
+        round_trip(u64::MAX);
+        round_trip(-7i64);
+        round_trip(true);
+        round_trip('λ');
+        round_trip(String::from("job-0"));
+        round_trip(String::new());
+    }
+
+    #[test]
+    fn containers_round_trip() {
+        round_trip(vec![1u32, 2, 3]);
+        round_trip(Vec::<u64>::new());
+        round_trip(Some(9u16));
+        round_trip(Option::<u16>::None);
+        round_trip(BTreeMap::from([(1u32, String::from("a")), (2, String::from("b"))]));
+        round_trip(BTreeSet::from([5u64, 7]));
+        round_trip((1u8, String::from("x"), vec![2u64]));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected() {
+        let mut bytes = 5u32.to_bytes();
+        bytes.push(0);
+        assert_eq!(u32::from_bytes(&bytes), Err(DecodeError::Invalid("trailing bytes")));
+    }
+
+    #[test]
+    fn truncation_is_eof() {
+        let bytes = 5u64.to_bytes();
+        assert_eq!(u64::from_bytes(&bytes[..4]), Err(DecodeError::Eof));
+    }
+
+    #[test]
+    fn corrupt_length_cannot_allocate() {
+        // A vector claiming u32::MAX items with 0 bytes behind it.
+        let bytes = u32::MAX.to_bytes();
+        assert_eq!(Vec::<u64>::from_bytes(&bytes), Err(DecodeError::Eof));
+    }
+
+    #[test]
+    fn invalid_tags_rejected() {
+        assert_eq!(bool::from_bytes(&[2]), Err(DecodeError::Invalid("bool")));
+        assert_eq!(Option::<u8>::from_bytes(&[9]), Err(DecodeError::Invalid("option tag")));
+    }
+}
