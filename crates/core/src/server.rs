@@ -296,16 +296,41 @@ impl JoshuaServer {
         let mut busy = SimDuration::ZERO;
         let cost = &self.config.cost;
         for (to, frame, bytes) in out.wire {
+            // Exhaustive over the wire protocol: a new frame kind must be
+            // assigned a CPU cost here, not silently inherit one (F004).
             busy += match &frame {
                 Wire::Ack { .. } => cost.gcs_background_delay,
-                Wire::Raw(GcsMsg::Heartbeat { .. }) | Wire::Raw(GcsMsg::JoinReq { .. }) => {
-                    cost.gcs_background_delay
-                }
-                Wire::Data {
-                    msg: GcsMsg::Engine { msg: EngineMsg::Ack { .. }, .. },
-                    ..
-                } => cost.gcs_ack_delay,
-                _ => cost.gcs_frame_delay,
+                Wire::Raw(m) => match m {
+                    GcsMsg::Heartbeat { .. } | GcsMsg::JoinReq { .. } => {
+                        cost.gcs_background_delay
+                    }
+                    GcsMsg::Leave
+                    | GcsMsg::FlushReq { .. }
+                    | GcsMsg::FlushInfo { .. }
+                    | GcsMsg::FlushFinal { .. }
+                    | GcsMsg::FlushAbort { .. }
+                    | GcsMsg::InstallAck { .. }
+                    | GcsMsg::Engine { .. } => cost.gcs_frame_delay,
+                },
+                Wire::Data { msg, .. } => match msg {
+                    GcsMsg::Engine { msg: EngineMsg::Ack { .. }, .. } => cost.gcs_ack_delay,
+                    GcsMsg::Engine {
+                        msg:
+                            EngineMsg::Request { .. }
+                            | EngineMsg::Ordered(_)
+                            | EngineMsg::Stable { .. }
+                            | EngineMsg::Token { .. },
+                        ..
+                    } => cost.gcs_frame_delay,
+                    GcsMsg::Heartbeat { .. }
+                    | GcsMsg::JoinReq { .. }
+                    | GcsMsg::Leave
+                    | GcsMsg::FlushReq { .. }
+                    | GcsMsg::FlushInfo { .. }
+                    | GcsMsg::FlushFinal { .. }
+                    | GcsMsg::FlushAbort { .. }
+                    | GcsMsg::InstallAck { .. } => cost.gcs_frame_delay,
+                },
             };
             ctx.send_sized_after(to, frame, bytes, busy);
         }
@@ -363,7 +388,14 @@ impl JoshuaServer {
                             Payload::Snapshot { targets, .. }
                             | Payload::CatchUp { targets, .. } => targets.contains(&me),
                             Payload::Hello { .. } => true,
-                            _ => false,
+                            // Every other payload is ordinary command
+                            // traffic; name them so a future control
+                            // variant must be classified here (F004).
+                            Payload::Client { .. }
+                            | Payload::Output { .. }
+                            | Payload::MomFinished { .. }
+                            | Payload::JMutexAcquire { .. }
+                            | Payload::JMutexRelease { .. } => false,
                         };
                         if !is_control {
                             buf.push((seq, payload));
@@ -480,8 +512,14 @@ impl JoshuaServer {
             Payload::JMutexRelease { job } => {
                 self.jmutex.release(job);
             }
-            // apply() routes only the four command payloads here.
-            _ => {}
+            // apply() routes only the four command payloads here; the
+            // control payloads are consumed before numbering. Name them
+            // (instead of `_`) so a new replicated command cannot be
+            // silently dropped by this match (F004).
+            Payload::Output { .. }
+            | Payload::Snapshot { .. }
+            | Payload::Hello { .. }
+            | Payload::CatchUp { .. } => {}
         }
         if log {
             self.maybe_snapshot(ctx, idx);
@@ -1011,14 +1049,17 @@ impl Process for JoshuaServer {
     }
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Msg) {
-        // Group traffic from peer daemons.
-        if msg.downcast_ref::<Wire<Payload>>().is_some() {
-            let frame = *msg.downcast::<Wire<Payload>>().expect("checked");
-            let now = ctx.now();
-            let out = self.group.on_wire(now, from, frame);
-            self.flush_gcs(ctx, out);
-            return;
-        }
+        // Group traffic from peer daemons. Single fallible downcast (the
+        // Err arm hands the box back) instead of check-then-expect (F003).
+        let msg = match msg.downcast::<Wire<Payload>>() {
+            Ok(frame) => {
+                let now = ctx.now();
+                let out = self.group.on_wire(now, from, *frame);
+                self.flush_gcs(ctx, out);
+                return;
+            }
+            Err(msg) => msg,
+        };
         // Intercepted PBS user command.
         if let Some(req) = msg.downcast_ref::<ClientRequest>() {
             self.stats.commands_forwarded += 1;
@@ -1093,7 +1134,16 @@ impl Process for JoshuaServer {
                     .job(*job)
                     .map(|j| j.state != jrs_pbs::JobState::Complete)
                     .unwrap_or(false),
-                _ => false,
+                // Witness duty exists only for obituaries today; name the
+                // rest so a future witnessed payload must decide its
+                // re-broadcast condition here (F004).
+                Payload::Client { .. }
+                | Payload::Output { .. }
+                | Payload::JMutexAcquire { .. }
+                | Payload::JMutexRelease { .. }
+                | Payload::Snapshot { .. }
+                | Payload::Hello { .. }
+                | Payload::CatchUp { .. } => false,
             };
             if still_needed {
                 self.broadcast(ctx, payload);

@@ -76,6 +76,14 @@ enum Mode {
 /// mentions of the pragma syntax inside documentation prose or string
 /// literals never count.
 pub fn preprocess(text: &str) -> CleanSource {
+    preprocess_keyed(text, "detlint")
+}
+
+/// [`preprocess`] with a caller-chosen pragma keyword, so other tools
+/// built on this scanner (jrs-flow) can read their own
+/// `// <keyword>: allow(RULE): reason` pragmas without colliding with
+/// detlint's namespace.
+pub fn preprocess_keyed(text: &str, keyword: &str) -> CleanSource {
     let bytes: Vec<char> = text.chars().collect();
     let mut out = String::with_capacity(text.len());
     let mut pragmas = Vec::new();
@@ -95,7 +103,7 @@ pub fn preprocess(text: &str) -> CleanSource {
                     // parsing; blanking proceeds via LineComment mode.
                     let comment: String =
                         bytes[i..].iter().take_while(|&&ch| ch != '\n').collect();
-                    if let Some(p) = parse_pragma(&comment, line_no) {
+                    if let Some(p) = parse_pragma(&comment, line_no, keyword) {
                         pragmas.push(p);
                     }
                     mode = Mode::LineComment;
@@ -244,14 +252,15 @@ fn is_char_literal(s: &[char]) -> bool {
 }
 
 /// Parse one line comment (including its `//`/`///`/`//!` marker) into
-/// a `detlint: allow(R1[, R2...]): reason` pragma, if its text starts
+/// a `<keyword>: allow(R1[, R2...]): reason` pragma, if its text starts
 /// with the pragma keyword.
-fn parse_pragma(comment: &str, line: usize) -> Option<Pragma> {
+fn parse_pragma(comment: &str, line: usize, keyword: &str) -> Option<Pragma> {
     let body = comment
         .trim_start_matches('/')
         .trim_start_matches('!')
         .trim_start();
-    let rest = body.strip_prefix("detlint:")?.trim_start();
+    let rest = body.strip_prefix(keyword)?.trim_start();
+    let rest = rest.strip_prefix(':')?.trim_start();
     let rest = rest.strip_prefix("allow")?.trim_start();
     let rest = rest.strip_prefix('(')?;
     let close = rest.find(')')?;
@@ -341,6 +350,17 @@ mod tests {
         let clean = preprocess(src);
         assert!(clean.suppressed("P001", 2).is_some());
         assert!(clean.suppressed("P001", 3).is_none());
+    }
+
+    #[test]
+    fn keyed_pragmas_use_their_own_namespace() {
+        let src = "x.unwrap(); // flow: allow(F003): bounded by construction\n";
+        let det = preprocess(src);
+        assert!(det.pragmas.is_empty(), "detlint must not see flow pragmas");
+        let flow = preprocess_keyed(src, "flow");
+        assert_eq!(flow.pragmas.len(), 1);
+        assert_eq!(flow.pragmas[0].rules, vec!["F003"]);
+        assert_eq!(flow.pragmas[0].reason, "bounded by construction");
     }
 
     #[test]

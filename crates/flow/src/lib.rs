@@ -1,0 +1,142 @@
+//! `jrs-flow` — call-graph replication-boundary analysis for the
+//! JOSHUA workspace.
+//!
+//! JOSHUA's symmetric active/active replication (PAPER.md §3) is
+//! correct only if every head is a deterministic state machine driven
+//! exclusively by the totally ordered command stream: replicated state
+//! may change *only* in response to delivered commands, never from
+//! timers, raw network receives, or local fault handlers. detlint
+//! checks determinism *lexically* (per file) and jrs-mc checks it
+//! *dynamically* (bounded interleavings); this crate closes the gap in
+//! between with a lightweight whole-workspace **static dataflow**
+//! pass: it extracts every function, call site, and state write from
+//! the sources (building on detlint's comment/string-stripping
+//! scanner), links them into a cross-crate call graph, and enforces
+//! graph-reachability invariants with shortest-call-chain witnesses:
+//!
+//! * **F001** — replicated state ([`rules::FlowConfig::replicated`])
+//!   is only written on paths through the ordered-delivery/recovery
+//!   gates ([`rules::FlowConfig::gates`]).
+//! * **F002** — no nondeterminism source is reachable from a
+//!   replicated-state mutator.
+//! * **F003** — no panic construct is reachable from a `Process`
+//!   callback.
+//! * **F004** — matches over protocol enums never end in catch-alls.
+//! * **FSUP** — every suppression (flow's own and detlint's) is
+//!   load-bearing and justified.
+//!
+//! Waive a finding inline with `// flow: allow(F003): <reason>` on the
+//! offending line or the line above. Reasons are mandatory and audited
+//! (FSUP flags dead pragmas), mirroring detlint's pragma discipline.
+//!
+//! Run it three ways:
+//!
+//! * `cargo run -p jrs-flow -- check [--json]` — CI/CLI entry;
+//! * the root crate's `tests/flow_gate.rs` — `cargo test` enforces it;
+//! * [`check_workspace`] / [`check_files`] — library API for both.
+//!
+//! ## Scope and limitations
+//!
+//! The extractor is a brace/token state machine tuned to rustfmt-shaped
+//! code, not a parser; receiver resolution is heuristic (see
+//! [`graph`]). Unresolvable calls degrade to *no edge* (possible
+//! false negatives through trait objects and closures) or, when a
+//! method name is unique workspace-wide, to a name-matched edge
+//! (possible false positives — waived with audited pragmas). That
+//! trade keeps the analysis zero-dependency, fast, and honest about
+//! what it proves: the *shape* of the call graph, not a type-checked
+//! semantics. detlint and jrs-mc cover the flanks.
+
+pub mod graph;
+pub mod model;
+pub mod parse;
+pub mod report;
+pub mod rules;
+
+pub use report::{ChainHop, Finding, Report};
+pub use rules::FlowConfig;
+
+use model::Model;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Analyse a set of in-memory files (the unit the fixture tests
+/// drive). `files` are `(workspace-relative path, source text)`.
+pub fn check_files(cfg: &FlowConfig, files: &[(&str, &str)]) -> Report {
+    let model = Model {
+        files: files.iter().map(|(p, t)| parse::extract(p, t)).collect(),
+    };
+    let (findings, fns, edges) = rules::run(cfg, &model);
+    Report { findings, files_scanned: files.len(), fns, edges }
+}
+
+/// Walk the workspace rooted at `root` and analyse every
+/// `crates/*/src/**/*.rs` plus the umbrella crate's `src/` (shims are
+/// external API stand-ins, not replica logic, and are skipped).
+pub fn check_workspace(cfg: &FlowConfig, root: &Path) -> io::Result<Report> {
+    let mut rel_files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(root, &src, &mut rel_files)?;
+            }
+        }
+    }
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        collect_rs(root, &umbrella, &mut rel_files)?;
+    }
+    rel_files.sort();
+
+    let mut model = Model::default();
+    for rel in &rel_files {
+        let text = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_else(|| rel.to_string_lossy().into_owned());
+        model.files.push(parse::extract(&rel_str, &text));
+    }
+    let (findings, fns, edges) = rules::run(cfg, &model);
+    Ok(Report { findings, files_scanned: rel_files.len(), fns, edges })
+}
+
+/// Find the workspace root by walking up from `start` to the first
+/// `Cargo.toml` containing `[workspace]`.
+pub fn find_workspace_root(start: &Path) -> Option<PathBuf> {
+    let mut cur = Some(start);
+    while let Some(dir) = cur {
+        let manifest = dir.join("Cargo.toml");
+        if manifest.is_file() {
+            if let Ok(text) = fs::read_to_string(&manifest) {
+                if text.contains("[workspace]") {
+                    return Some(dir.to_path_buf());
+                }
+            }
+        }
+        cur = dir.parent();
+    }
+    None
+}
+
+fn collect_rs(root: &Path, dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}

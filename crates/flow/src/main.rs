@@ -1,0 +1,137 @@
+//! CLI for the call-graph analysis: `cargo run -p jrs-flow -- check`.
+
+use jrs_flow::FlowConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "jrs-flow — call-graph replication-boundary analysis for the JOSHUA workspace
+
+USAGE:
+    jrs-flow check [--root <dir>] [--json]   analyse the workspace; exit 1 on findings
+    jrs-flow rules                           print the rule set and the audited registry
+
+Waive a finding inline with `// flow: allow(F003): <reason>` on the offending
+line or the line above it. Reasons are mandatory; stale pragmas are themselves
+findings (FSUP)."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => match it.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage(),
+            },
+            "--json" => json = true,
+            _ => return usage(),
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match jrs_flow::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "jrs-flow: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return ExitCode::from(2);
+                }
+            }
+        }
+    };
+
+    let cfg = FlowConfig::workspace();
+    match jrs_flow::check_workspace(&cfg, &root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+                return if report.clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.clean() {
+                println!(
+                    "flow: OK — {} files, {} fns, {} call edges, 0 findings",
+                    report.files_scanned, report.fns, report.edges
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "flow: FAILED — {} finding(s) across {} files ({} fns, {} edges; \
+                     run `cargo run -p jrs-flow -- rules` for rationale)",
+                    report.findings.len(),
+                    report.files_scanned,
+                    report.fns,
+                    report.edges
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("jrs-flow: I/O error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn print_rules() {
+    println!("jrs-flow rule set (call-graph replication invariants)\n");
+    println!(
+        "F001  replicated state is only written through ordered-delivery gates\n      \
+         checked by gate interposition: BFS from Process callbacks with the\n      \
+         gates removed; any reachable mutator is a leak (shortest chain shown)\n"
+    );
+    println!(
+        "F002  no nondeterminism source (wall clock, ambient RNG, env, thread\n      \
+         spawn, hash-ordered collections) reachable from a state mutator\n"
+    );
+    println!(
+        "F003  no panic construct (unwrap/expect/panic!/unreachable!/todo!)\n      \
+         reachable from a Process callback — a replica must degrade, not die\n"
+    );
+    println!(
+        "F004  matches over protocol enums never end in a catch-all arm: a new\n      \
+         protocol variant must be a compile error, not a silent drop\n"
+    );
+    println!(
+        "FSUP  suppressions must name a known rule, carry a reason, and be\n      \
+         load-bearing (flow's own pragmas and detlint's are both audited)\n"
+    );
+    let cfg = FlowConfig::workspace();
+    println!("registered replicated state:");
+    for r in &cfg.replicated {
+        println!("  {} (roots in: {}) — {}", r.type_name, r.scope.join(", "), r.why);
+    }
+    println!("\nordered-delivery / recovery gates:");
+    for gate in &cfg.gates {
+        println!("  {gate}");
+    }
+    println!("\nexempt roots (audited):");
+    for (t, why) in &cfg.exempt_roots {
+        println!("  {t} — {why}");
+    }
+    println!("\nprotocol enums (F004): {}", cfg.protocol_enums.join(", "));
+}

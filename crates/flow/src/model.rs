@@ -1,0 +1,244 @@
+//! The facts jrs-flow extracts from source text: functions with their
+//! call sites, atoms (panic / nondeterminism constructs), bindings and
+//! field writes; struct field types; enum variants; and `match` sites.
+//!
+//! Everything here is produced by [`crate::parse::extract`] from one
+//! file and consumed by [`crate::graph`] (call-graph construction) and
+//! [`crate::rules`] (the F-rules). The extractor is a line/token
+//! scanner like detlint's, not a full parser — the model is therefore
+//! an over-approximation resolved with the heuristics documented in
+//! [`crate::graph`].
+
+use jrs_detlint::scanner::Pragma;
+
+/// Receiver shape of one call site, as written in the source.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Recv {
+    /// `self.method(..)`.
+    SelfDot,
+    /// `self.field.method(..)` — resolved through the field's type.
+    Field(String),
+    /// `var.method(..)` — resolved through params / `let` bindings.
+    Var(String),
+    /// `Type::method(..)` (`Self::..` maps to the impl type).
+    Path(String),
+    /// `free_fn(..)`.
+    Bare,
+    /// `expr.method(..)` where the receiver is not a simple name
+    /// (chained calls, indexing, blanked string literals …).
+    Chain,
+}
+
+/// One call site inside a function body.
+#[derive(Clone, Debug)]
+pub struct CallSite {
+    /// 1-based source line.
+    pub line: usize,
+    /// Callee name as written.
+    pub name: String,
+    /// Receiver shape.
+    pub recv: Recv,
+}
+
+/// Classes of "interesting" constructs found on a body line.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AtomKind {
+    /// `unwrap` / `expect` / `panic!` / `unreachable!` / `todo!` /
+    /// `unimplemented!`.
+    Panic,
+    /// Slice/array indexing `x[i]` (only collected when the config
+    /// enables index atoms — see `FlowConfig::index_atoms`).
+    Index,
+    /// `Instant::now` / `SystemTime::now`.
+    WallClock,
+    /// Ambient RNG: `thread_rng` / `from_entropy` / `OsRng` /
+    /// `getrandom` / `rand::random`.
+    Rng,
+    /// Process environment reads.
+    Env,
+    /// OS thread spawning.
+    ThreadSpawn,
+    /// Hash-ordered collections (iteration order varies per process).
+    HashOrder,
+}
+
+/// One atom occurrence.
+#[derive(Clone, Debug)]
+pub struct Atom {
+    /// 1-based source line.
+    pub line: usize,
+    /// What kind of construct.
+    pub kind: AtomKind,
+    /// The matched token, for messages.
+    pub token: String,
+}
+
+/// Where a `let` binding's type comes from.
+#[derive(Clone, Debug)]
+pub enum BindSrc {
+    /// `let x: T = ..` or `let x = T::new(..)` — type named directly.
+    Typed(String),
+    /// `let Some(x) = &self.field ..` — the field's (peeled) type.
+    FieldOf(String),
+    /// `let x = self.method(..)` — the method's return type.
+    SelfRet(String),
+}
+
+/// A `self.field = ..` assignment (field replacement counts as a state
+/// write even when no `&mut self` method of the field's type is
+/// called).
+#[derive(Clone, Debug)]
+pub struct FieldWrite {
+    /// 1-based source line.
+    pub line: usize,
+    /// Field name.
+    pub field: String,
+}
+
+/// One function (free or method) with everything the rules need.
+#[derive(Clone, Debug)]
+pub struct FnDef {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Crate key (`crates/<key>` dir name, or `joshua-repro` for the
+    /// umbrella crate's `src/`).
+    pub crate_key: String,
+    /// 1-based line of the `fn` keyword.
+    pub line: usize,
+    /// Last body line (used to attribute `match` sites).
+    pub end_line: usize,
+    /// Bare function name.
+    pub name: String,
+    /// Peeled impl target when inside an `impl` block.
+    pub impl_type: Option<String>,
+    /// Peeled trait name for `impl Trait for Type` blocks.
+    pub impl_trait: Option<String>,
+    /// `Type::name`, or `name` for free functions.
+    pub qualified: String,
+    /// Takes `&mut self` (or `mut self`).
+    pub mut_self: bool,
+    /// Non-self parameters: `(name, peeled type)`.
+    pub params: Vec<(String, String)>,
+    /// Peeled types taken by `&mut` reference (state-write capability).
+    pub mut_param_types: Vec<String>,
+    /// Peeled return type.
+    pub ret: Option<String>,
+    /// Inside `#[cfg(test)]` / `#[test]` scaffolding.
+    pub is_test: bool,
+    /// Call sites in the body.
+    pub calls: Vec<CallSite>,
+    /// Atoms in the body.
+    pub atoms: Vec<Atom>,
+    /// `let` bindings (single-assignment approximation).
+    pub bindings: Vec<(String, BindSrc)>,
+    /// `self.field = ..` assignments.
+    pub field_writes: Vec<FieldWrite>,
+}
+
+/// A struct definition: the field types drive `self.field.m()` call
+/// resolution.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Crate key.
+    pub crate_key: String,
+    /// Struct name.
+    pub name: String,
+    /// `(field, peeled type)`.
+    pub fields: Vec<(String, String)>,
+}
+
+/// An enum definition: the variant list drives F004 exhaustiveness.
+#[derive(Clone, Debug)]
+pub struct EnumDef {
+    /// Crate key.
+    pub crate_key: String,
+    /// Workspace-relative file path.
+    pub path: String,
+    /// 1-based line of the `enum` keyword.
+    pub line: usize,
+    /// Enum name.
+    pub name: String,
+    /// Variant names in declaration order.
+    pub variants: Vec<String>,
+}
+
+/// One arm of a `match`, pattern text only (up to `=>`, guard kept).
+#[derive(Clone, Debug)]
+pub struct MatchArm {
+    /// 1-based line the pattern starts on.
+    pub line: usize,
+    /// Pattern text (cleaned source, single-spaced).
+    pub pattern: String,
+}
+
+/// One `match` expression.
+#[derive(Clone, Debug)]
+pub struct MatchSite {
+    /// Workspace-relative file path.
+    pub path: String,
+    /// Crate key.
+    pub crate_key: String,
+    /// 1-based line of the `match` keyword.
+    pub line: usize,
+    /// Scrutinee text (cleaned).
+    pub scrutinee: String,
+    /// Arms in order.
+    pub arms: Vec<MatchArm>,
+    /// Inside test scaffolding.
+    pub is_test: bool,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug)]
+pub struct FileFacts {
+    /// Workspace-relative path.
+    pub path: String,
+    /// Crate key.
+    pub crate_key: String,
+    /// Raw source (kept for the detlint-suppression audit).
+    pub text: String,
+    /// Functions, in source order.
+    pub fns: Vec<FnDef>,
+    /// Structs.
+    pub structs: Vec<StructDef>,
+    /// Enums.
+    pub enums: Vec<EnumDef>,
+    /// `match` sites.
+    pub matches: Vec<MatchSite>,
+    /// `// flow: allow(..): reason` pragmas.
+    pub flow_pragmas: Vec<Pragma>,
+}
+
+/// The whole-workspace model: per-file facts plus derived lookups.
+#[derive(Debug, Default)]
+pub struct Model {
+    /// One entry per scanned file.
+    pub files: Vec<FileFacts>,
+}
+
+impl Model {
+    /// All functions across all files, with `(file index, fn index)`.
+    pub fn fns(&self) -> impl Iterator<Item = (usize, usize, &FnDef)> {
+        self.files
+            .iter()
+            .enumerate()
+            .flat_map(|(fi, f)| f.fns.iter().enumerate().map(move |(ni, d)| (fi, ni, d)))
+    }
+
+    /// Field type of `type_name.field`, searched across all crates.
+    pub fn field_type(&self, type_name: &str, field: &str) -> Option<&str> {
+        self.files
+            .iter()
+            .flat_map(|f| &f.structs)
+            .find(|s| s.name == type_name)
+            .and_then(|s| {
+                s.fields.iter().find(|(n, _)| n == field).map(|(_, t)| t.as_str())
+            })
+    }
+
+    /// Enum definition by name (protocol enum names are unique in this
+    /// workspace; first match wins deterministically by file order).
+    pub fn enum_def(&self, name: &str) -> Option<&EnumDef> {
+        self.files.iter().flat_map(|f| &f.enums).find(|e| e.name == name)
+    }
+}

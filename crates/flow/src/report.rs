@@ -1,0 +1,151 @@
+//! Findings, the whole-run report, and rendering (human text and the
+//! `--json` form CI can diff against a committed baseline).
+
+use std::fmt;
+
+/// One hop in a witness call chain.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ChainHop {
+    /// `Type::method` or free-fn name.
+    pub qualified: String,
+    /// Workspace-relative file of the function.
+    pub path: String,
+    /// Line of the call site where this hop calls the *next* one (the
+    /// function's own definition line for the chain's final hop).
+    pub line: usize,
+}
+
+/// One rule finding with its shortest-call-chain witness.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule code (`F001`..`F004`, `FSUP`).
+    pub rule: &'static str,
+    /// Workspace-relative file the finding anchors to.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Human-readable description (includes the chain inline).
+    pub message: String,
+    /// The witness chain, root first (empty for F004/FSUP).
+    pub chain: Vec<ChainHop>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}:{}", self.rule, self.path, self.line)?;
+        writeln!(f, "  {}", self.message)?;
+        if self.chain.len() > 1 {
+            writeln!(f, "  witness chain:")?;
+            for hop in &self.chain {
+                writeln!(f, "    {} ({}:{})", hop.qualified, hop.path, hop.line)?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a whole-workspace analysis.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in path/line/rule order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of functions extracted.
+    pub fns: usize,
+    /// Number of resolved call edges.
+    pub edges: usize,
+}
+
+impl Report {
+    /// Did the workspace pass?
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render as a JSON object (hand-rolled: the analysis is
+    /// zero-dependency by design).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"files_scanned\":{},\"fns\":{},\"edges\":{},\"findings\":[",
+            self.files_scanned, self.fns, self.edges
+        ));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"chain\":[",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            ));
+            for (j, h) in f.chain.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&format!(
+                    "{{\"fn\":{},\"path\":{},\"line\":{}}}",
+                    json_str(&h.qualified),
+                    json_str(&h.path),
+                    h.line
+                ));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: "F003",
+                path: "crates/x/src/a.rs".into(),
+                line: 7,
+                message: "panic \"here\"\nand there".into(),
+                chain: vec![ChainHop {
+                    qualified: "T::m".into(),
+                    path: "crates/x/src/a.rs".into(),
+                    line: 3,
+                }],
+            }],
+            files_scanned: 1,
+            fns: 2,
+            edges: 1,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rule\":\"F003\""));
+        assert!(j.contains("\\\"here\\\""));
+        assert!(j.contains("\\n"));
+        assert!(j.contains("\"fn\":\"T::m\""));
+    }
+}

@@ -1,0 +1,546 @@
+//! The graph-aware rules (F001–F004) plus the suppression audit
+//! (FSUP), and the configuration registry that names the workspace's
+//! replicated-state types, ordered-delivery gates, and audited
+//! exemptions.
+//!
+//! * **F001** — replication boundary: a registered replicated-state
+//!   type may only be mutated on call paths that pass through an
+//!   ordered-delivery/recovery gate. Checked by *gate interposition*:
+//!   BFS from every `Process` callback root with the gate functions
+//!   removed from the graph; any mutator still reachable is a leak,
+//!   and the BFS parent chain is the shortest gate-avoiding witness.
+//! * **F002** — no nondeterminism source (wall clock, ambient RNG,
+//!   env, thread spawn, hash-ordered collections) transitively
+//!   reachable from a replicated-state mutator or gate. This is
+//!   detlint's D001–D003 upgraded from lexical to reachability form:
+//!   it ignores test/bench code automatically and catches cross-crate
+//!   leaks detlint's per-crate scoping cannot see.
+//! * **F003** — no panic construct (`unwrap`/`expect`/`panic!`/
+//!   `unreachable!`/`todo!`/`unimplemented!`) reachable from a
+//!   `Process` callback, reported with the full call chain (upgrading
+//!   detlint's file-scoped P001 to the whole delivery graph).
+//! * **F004** — protocol matches over the registered protocol enums
+//!   must not end in a catch-all arm: a new protocol variant must be a
+//!   compile error, never a silent drop.
+//! * **FSUP** — every `// flow: allow(..)` pragma must name a known
+//!   rule, carry a reason, and actually suppress something; and every
+//!   detlint pragma must still be load-bearing (re-linting with the
+//!   pragma neutered must produce a new violation, else the pragma is
+//!   stale and gets flagged for removal).
+
+use crate::graph::{self, Graph};
+use crate::model::{AtomKind, FileFacts, Model};
+use crate::report::{ChainHop, Finding};
+use jrs_detlint::scanner::Pragma;
+use std::collections::BTreeSet;
+
+/// The `Process` trait callbacks that constitute event roots.
+pub const CALLBACKS: &[&str] = &["on_start", "on_message", "on_timer"];
+
+/// Rule codes jrs-flow can emit (and that pragmas may name).
+pub const RULE_CODES: &[&str] = &["F001", "F002", "F003", "F004", "FSUP"];
+
+/// One registered replicated-state type.
+#[derive(Clone, Debug)]
+pub struct ReplicatedState {
+    /// Type name (struct/enum) whose `&mut self` methods, `&mut`
+    /// params, and field replacements count as state writes.
+    pub type_name: String,
+    /// Crates whose event roots are held to the F001 boundary for this
+    /// type.
+    pub scope: Vec<String>,
+    /// Why this type is registered (shown by `rules`).
+    pub why: String,
+}
+
+/// Analysis configuration: the registry the rules run against.
+/// [`FlowConfig::workspace`] is the audited production registry;
+/// fixtures construct their own.
+#[derive(Clone, Debug)]
+pub struct FlowConfig {
+    /// Replicated-state types (F001/F002).
+    pub replicated: Vec<ReplicatedState>,
+    /// Ordered-delivery / recovery-replay gate functions, as
+    /// `Type::method`, `Type::*`, or free-fn name specs.
+    pub gates: Vec<String>,
+    /// `Process` impl types exempt from F001 roots, with audited
+    /// reasons (the paper's intentionally-unreplicated baselines).
+    pub exempt_roots: Vec<(String, String)>,
+    /// Protocol enums whose matches must stay exhaustive (F004).
+    pub protocol_enums: Vec<String>,
+    /// Crates whose `match` sites are checked (F004).
+    pub match_scope: Vec<String>,
+    /// Crates whose panic atoms are reportable (F003).
+    pub panic_scope: Vec<String>,
+    /// Crates whose `Process` impls are F003 roots.
+    pub root_scope: Vec<String>,
+    /// Crates whose nondeterminism atoms are reportable (F002).
+    pub nondet_scope: Vec<String>,
+    /// Also treat slice/array indexing as a panic atom (F003). Off by
+    /// default: the workspace indexes only after explicit bounds
+    /// handling, and the signal-to-noise is poor; fixtures exercise
+    /// it.
+    pub index_atoms: bool,
+    /// Re-lint files with each detlint pragma neutered and flag
+    /// pragmas that no longer suppress anything (FSUP).
+    pub audit_detlint: bool,
+}
+
+impl FlowConfig {
+    /// The audited registry for this workspace.
+    pub fn workspace() -> Self {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        FlowConfig {
+            replicated: vec![
+                ReplicatedState {
+                    type_name: "PbsServerCore".into(),
+                    scope: s(&["pbs", "core"]),
+                    why: "the PBS job/queue/node state every head must hold identically"
+                        .into(),
+                },
+                ReplicatedState {
+                    type_name: "JMutexState".into(),
+                    scope: s(&["core"]),
+                    why: "the job-launch mutex grant table (paper §4: exactly-one-launch)"
+                        .into(),
+                },
+                ReplicatedState {
+                    type_name: "Engine".into(),
+                    scope: s(&["core", "pbs"]),
+                    why: "the total-order engine; only the GCS membership layer may drive it"
+                        .into(),
+                },
+            ],
+            gates: s(&[
+                // The single choke point where delivered commands are
+                // applied, plus recovery replay and state transfer —
+                // the paths the paper's §3 model *requires* to touch
+                // replicated state.
+                "JoshuaServer::apply",
+                "JoshuaServer::apply_command",
+                "JoshuaServer::install_snapshot",
+                "JoshuaServer::adopt_recovery",
+                "JoshuaServer::on_catch_up",
+                "JoshuaServer::on_ejected",
+                // The GCS membership/ordering layer owns the engine.
+                "GroupMember::*",
+            ]),
+            exempt_roots: vec![
+                (
+                    "PbsHeadProcess".into(),
+                    "the paper's unreplicated baseline: one head, one copy — no \
+                     replication boundary to protect"
+                        .into(),
+                ),
+                (
+                    "ActiveStandbyHead".into(),
+                    "the active/standby baseline: state diverges by design between \
+                     checkpoints"
+                        .into(),
+                ),
+            ],
+            protocol_enums: s(&["EngineMsg", "GcsMsg", "Wire", "Payload", "MomInbound"]),
+            match_scope: s(&["gcs", "pbs", "core", "store", "joshua-repro"]),
+            panic_scope: s(&["gcs", "pbs", "core", "store"]),
+            root_scope: s(&["gcs", "pbs", "core"]),
+            nondet_scope: s(&["gcs", "pbs", "core", "store", "sim", "joshua-repro"]),
+            index_atoms: false,
+            audit_detlint: true,
+        }
+    }
+}
+
+/// Run every rule; returns findings sorted by path/line/rule.
+pub fn run(cfg: &FlowConfig, model: &Model) -> (Vec<Finding>, usize, usize) {
+    let g = graph::build(model);
+    let mut cands: Vec<Finding> = Vec::new();
+
+    check_f001(cfg, model, &g, &mut cands);
+    check_f002(cfg, model, &g, &mut cands);
+    check_f003(cfg, &g, &mut cands);
+    check_f004(cfg, model, &mut cands);
+
+    // Central suppression: a finding is waived by a
+    // `// flow: allow(RULE): reason` pragma on its line or the line
+    // above; used pragmas are tracked so FSUP can flag dead ones.
+    let mut used: BTreeSet<(String, usize)> = BTreeSet::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in cands {
+        match pragma_for(model, &f.path, f.rule, f.line) {
+            Some(p) => {
+                used.insert((f.path.clone(), p.line));
+            }
+            None => findings.push(f),
+        }
+    }
+
+    check_fsup(cfg, model, &used, &mut findings);
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    let edge_count = g.edges.iter().map(Vec::len).sum();
+    (findings, g.fns.len(), edge_count)
+}
+
+/// The flow pragma (if any) waiving `rule` at `path:line`.
+fn pragma_for<'m>(
+    model: &'m Model,
+    path: &str,
+    rule: &str,
+    line: usize,
+) -> Option<&'m Pragma> {
+    let facts = model.files.iter().find(|f| f.path == path)?;
+    facts.flow_pragmas.iter().find(|p| {
+        (p.line == line || p.line + 1 == line) && p.rules.iter().any(|r| r == rule)
+    })
+}
+
+/// Function ids of `Process` callbacks in the given crates.
+fn roots(
+    g: &Graph<'_>,
+    crates: &[String],
+    exempt: &[(String, String)],
+) -> Vec<usize> {
+    g.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            !f.is_test
+                && f.impl_trait.as_deref() == Some("Process")
+                && CALLBACKS.contains(&f.name.as_str())
+                && crates.iter().any(|c| c == &f.crate_key)
+                && !exempt
+                    .iter()
+                    .any(|(t, _)| Some(t.as_str()) == f.impl_type.as_deref())
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Function ids that write state of `type_name`: `&mut self` methods
+/// of the type, functions taking it by `&mut`, and functions replacing
+/// a field of that type.
+fn mutators(g: &Graph<'_>, model: &Model, type_name: &str) -> Vec<usize> {
+    g.fns
+        .iter()
+        .enumerate()
+        .filter(|(_, f)| {
+            if f.is_test {
+                return false;
+            }
+            if f.impl_type.as_deref() == Some(type_name) && f.mut_self {
+                return true;
+            }
+            if f.mut_param_types.iter().any(|t| t == type_name) {
+                return true;
+            }
+            f.field_writes.iter().any(|w| {
+                f.impl_type
+                    .as_deref()
+                    .and_then(|t| model.field_type(t, &w.field))
+                    .is_some_and(|t| t == type_name)
+            })
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+fn hops(g: &Graph<'_>, chain: &[(usize, Option<usize>)]) -> Vec<ChainHop> {
+    chain
+        .iter()
+        .map(|(id, via)| {
+            let f = g.fns[*id];
+            ChainHop {
+                qualified: f.qualified.clone(),
+                path: f.path.clone(),
+                line: via.unwrap_or(f.line),
+            }
+        })
+        .collect()
+}
+
+fn chain_text(hs: &[ChainHop]) -> String {
+    hs.iter().map(|h| h.qualified.as_str()).collect::<Vec<_>>().join(" -> ")
+}
+
+fn check_f001(cfg: &FlowConfig, model: &Model, g: &Graph<'_>, out: &mut Vec<Finding>) {
+    let blocked: BTreeSet<usize> =
+        cfg.gates.iter().flat_map(|s| g.resolve_spec(s)).collect();
+    for state in &cfg.replicated {
+        let rs = roots(g, &state.scope, &cfg.exempt_roots);
+        if rs.is_empty() {
+            continue;
+        }
+        let parents = g.reach(&rs, &blocked);
+        for m in mutators(g, model, &state.type_name) {
+            if !parents.contains_key(&m) {
+                continue;
+            }
+            let chain = hops(g, &g.chain_to(&parents, m));
+            let f = g.fns[m];
+            out.push(Finding {
+                rule: "F001",
+                path: f.path.clone(),
+                line: f.line,
+                message: format!(
+                    "replicated state `{}` is written by `{}` on a path that avoids \
+                     every ordered-delivery gate: {}",
+                    state.type_name,
+                    f.qualified,
+                    chain_text(&chain),
+                ),
+                chain,
+            });
+        }
+    }
+}
+
+fn check_f002(cfg: &FlowConfig, model: &Model, g: &Graph<'_>, out: &mut Vec<Finding>) {
+    let mut starts: BTreeSet<usize> = cfg
+        .replicated
+        .iter()
+        .flat_map(|s| mutators(g, model, &s.type_name))
+        .collect();
+    starts.extend(cfg.gates.iter().flat_map(|s| g.resolve_spec(s)));
+    let starts: Vec<usize> = starts.into_iter().collect();
+    let parents = g.reach(&starts, &BTreeSet::new());
+    let mut seen: BTreeSet<(String, usize, String)> = BTreeSet::new();
+    for &v in parents.keys() {
+        let f = g.fns[v];
+        if f.is_test || !cfg.nondet_scope.iter().any(|c| c == &f.crate_key) {
+            continue;
+        }
+        for atom in &f.atoms {
+            let kind_ok = matches!(
+                atom.kind,
+                AtomKind::WallClock
+                    | AtomKind::Rng
+                    | AtomKind::Env
+                    | AtomKind::ThreadSpawn
+                    | AtomKind::HashOrder
+            );
+            if !kind_ok || !seen.insert((f.path.clone(), atom.line, atom.token.clone()))
+            {
+                continue;
+            }
+            let chain = hops(g, &g.chain_to(&parents, v));
+            out.push(Finding {
+                rule: "F002",
+                path: f.path.clone(),
+                line: atom.line,
+                message: format!(
+                    "nondeterminism source `{}` is reachable from a replicated-state \
+                     mutator: {} (at {}:{})",
+                    atom.token,
+                    chain_text(&chain),
+                    f.path,
+                    atom.line,
+                ),
+                chain,
+            });
+        }
+    }
+}
+
+fn check_f003(cfg: &FlowConfig, g: &Graph<'_>, out: &mut Vec<Finding>) {
+    let rs = roots(g, &cfg.root_scope, &[]);
+    if rs.is_empty() {
+        return;
+    }
+    let parents = g.reach(&rs, &BTreeSet::new());
+    let mut seen: BTreeSet<(String, usize)> = BTreeSet::new();
+    for &v in parents.keys() {
+        let f = g.fns[v];
+        if f.is_test || !cfg.panic_scope.iter().any(|c| c == &f.crate_key) {
+            continue;
+        }
+        for atom in &f.atoms {
+            let kind_ok = atom.kind == AtomKind::Panic
+                || (cfg.index_atoms && atom.kind == AtomKind::Index);
+            if !kind_ok || !seen.insert((f.path.clone(), atom.line)) {
+                continue;
+            }
+            let chain = hops(g, &g.chain_to(&parents, v));
+            out.push(Finding {
+                rule: "F003",
+                path: f.path.clone(),
+                line: atom.line,
+                message: format!(
+                    "panic-capable `{}` is reachable from a process callback: {} \
+                     (at {}:{})",
+                    atom.token,
+                    chain_text(&chain),
+                    f.path,
+                    atom.line,
+                ),
+                chain,
+            });
+        }
+    }
+}
+
+/// Is this arm pattern a catch-all (`_`, `_name`, or a bare binding)?
+fn is_catch_all(pattern: &str) -> bool {
+    // Drop a guard: `x if cond` — the guard keeps it a catch-all shape
+    // (a guarded wildcard still swallows unnamed variants when the
+    // guard is true, and the F004 point is exhaustiveness at compile
+    // time).
+    let p = match pattern.find(" if ") {
+        Some(i) => &pattern[..i],
+        None => pattern,
+    };
+    let p = p.trim().trim_start_matches('&').trim();
+    if p == "_" {
+        return true;
+    }
+    p.chars().all(|c| c.is_alphanumeric() || c == '_')
+        && p.chars().next().is_some_and(|c| c.is_lowercase() || c == '_')
+}
+
+fn check_f004(cfg: &FlowConfig, model: &Model, out: &mut Vec<Finding>) {
+    for facts in &model.files {
+        if !cfg.match_scope.iter().any(|c| c == &facts.crate_key) {
+            continue;
+        }
+        for site in &facts.matches {
+            if site.is_test || site.arms.is_empty() {
+                continue;
+            }
+            let mentioned: Vec<&str> = cfg
+                .protocol_enums
+                .iter()
+                .map(String::as_str)
+                .filter(|e| {
+                    let needle = format!("{e}::");
+                    site.arms.iter().any(|a| a.pattern.contains(&needle))
+                })
+                .collect();
+            if mentioned.is_empty() {
+                continue;
+            }
+            let Some(catch) = site.arms.iter().find(|a| is_catch_all(&a.pattern)) else {
+                continue;
+            };
+            let mut swallowed = Vec::new();
+            for e in &mentioned {
+                if let Some(def) = model.enum_def(e) {
+                    let missing: Vec<&str> = def
+                        .variants
+                        .iter()
+                        .map(String::as_str)
+                        .filter(|v| {
+                            let needle = format!("{e}::{v}");
+                            !site.arms.iter().any(|a| a.pattern.contains(&needle))
+                        })
+                        .collect();
+                    if missing.is_empty() {
+                        swallowed.push(format!("{e} (future variants)"));
+                    } else {
+                        swallowed.push(format!("{e}::{{{}}}", missing.join(", ")));
+                    }
+                }
+            }
+            out.push(Finding {
+                rule: "F004",
+                path: facts.path.clone(),
+                line: catch.line,
+                message: format!(
+                    "match over protocol enum{} {} ends in catch-all `{}` — silently \
+                     swallows {}; name every variant so new protocol messages are a \
+                     compile error",
+                    if mentioned.len() > 1 { "s" } else { "" },
+                    mentioned.join(", "),
+                    catch.pattern,
+                    swallowed.join("; "),
+                ),
+                chain: Vec::new(),
+            });
+        }
+    }
+}
+
+fn check_fsup(
+    cfg: &FlowConfig,
+    model: &Model,
+    used: &BTreeSet<(String, usize)>,
+    out: &mut Vec<Finding>,
+) {
+    for facts in &model.files {
+        for p in &facts.flow_pragmas {
+            let unknown: Vec<&str> = p
+                .rules
+                .iter()
+                .map(String::as_str)
+                .filter(|r| !RULE_CODES.contains(r))
+                .collect();
+            if !unknown.is_empty() {
+                out.push(fsup(facts, p.line, format!(
+                    "flow suppression names unknown rule{} {}",
+                    if unknown.len() > 1 { "s" } else { "" },
+                    unknown.join(", "),
+                )));
+                continue;
+            }
+            if p.reason.is_empty() {
+                out.push(fsup(
+                    facts,
+                    p.line,
+                    "flow suppression without a reason — write \
+                     `// flow: allow(RULE): <why this is safe>`"
+                        .to_string(),
+                ));
+                continue;
+            }
+            if !used.contains(&(facts.path.clone(), p.line)) {
+                out.push(fsup(
+                    facts,
+                    p.line,
+                    "flow suppression suppresses nothing — remove it".to_string(),
+                ));
+            }
+        }
+        if cfg.audit_detlint {
+            audit_detlint_pragmas(facts, out);
+        }
+    }
+}
+
+fn fsup(facts: &FileFacts, line: usize, message: String) -> Finding {
+    Finding { rule: "FSUP", path: facts.path.clone(), line, message, chain: Vec::new() }
+}
+
+/// Re-lint the file with each detlint pragma neutered; a pragma whose
+/// removal changes nothing is stale.
+fn audit_detlint_pragmas(facts: &FileFacts, out: &mut Vec<Finding>) {
+    let det_pragmas = jrs_detlint::scanner::preprocess(&facts.text).pragmas;
+    if det_pragmas.is_empty() {
+        return;
+    }
+    let baseline = jrs_detlint::check_source(&facts.path, &facts.text).len();
+    for p in det_pragmas {
+        let neutered: String = facts
+            .text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| {
+                if i + 1 == p.line {
+                    l.replacen("detlint:", "detlint-disabled:", 1)
+                } else {
+                    l.to_string()
+                }
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let without = jrs_detlint::check_source(&facts.path, &neutered).len();
+        if without <= baseline {
+            out.push(fsup(
+                facts,
+                p.line,
+                format!(
+                    "detlint suppression allow({}) suppresses nothing (re-linting \
+                     without it finds no new violation) — remove it",
+                    p.rules.join(", "),
+                ),
+            ));
+        }
+    }
+}

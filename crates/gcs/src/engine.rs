@@ -510,8 +510,12 @@ impl<P: Clone> Engine<P> {
                 deliver: e.core.on_ack(from, up_to),
             },
             (Engine::Token(e), EngineMsg::Token { next_seq, .. }) => e.on_token(now, next_seq),
-            // Cross-engine messages indicate misconfiguration; ignore.
-            _ => EngineOut::default(),
+            // Cross-engine messages indicate misconfiguration; drop each
+            // combination by name so a new EngineMsg variant is a compile
+            // error here rather than silently swallowed (F004).
+            (Engine::Seq(_), EngineMsg::Token { .. })
+            | (Engine::Token(_), EngineMsg::Request { .. })
+            | (Engine::Token(_), EngineMsg::Stable { .. }) => EngineOut::default(),
         }
     }
 

@@ -1097,7 +1097,9 @@ impl<P: Clone + 'static> GroupMember<P> {
         // Bound the probe set (a long-running group sheds truly dead
         // members; 16 covers any realistic head-node pool).
         while self.former_members.len() > 16 {
-            let first = *self.former_members.iter().next().expect("non-empty");
+            // `len() > 16` guarantees an element, but bind fallibly: the
+            // probe-set trim must never be able to panic a replica (F003).
+            let Some(&first) = self.former_members.iter().next() else { break };
             self.former_members.remove(&first);
         }
         self.view = view.clone();

@@ -63,7 +63,9 @@ impl<P: Clone + 'static> Process for GcsProcess<P> {
 
     fn on_message(&mut self, ctx: &mut Ctx<'_>, from: ProcId, msg: Msg) {
         if from == EXTERNAL {
-            match *msg.downcast::<GcsCommand<P>>().expect("GcsCommand payload") {
+            // Unknown harness payloads are dropped, not fatal (F003).
+            let Ok(cmd) = msg.downcast::<GcsCommand<P>>() else { return };
+            match *cmd {
                 GcsCommand::Broadcast(p) => {
                     let out = self.member.broadcast(ctx.now(), p);
                     self.flush_output(ctx, out);
@@ -76,9 +78,9 @@ impl<P: Clone + 'static> Process for GcsProcess<P> {
             }
             return;
         }
-        let frame = *msg.downcast::<Wire<P>>().expect("Wire frame");
+        let Ok(frame) = msg.downcast::<Wire<P>>() else { return };
         let now = ctx.now();
-        let out = self.member.on_wire(now, from, frame);
+        let out = self.member.on_wire(now, from, *frame);
         self.flush_output(ctx, out);
     }
 

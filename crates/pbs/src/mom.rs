@@ -325,7 +325,9 @@ impl PbsMomCore {
 
     /// A session won the launch mutex (or local grant): really execute.
     fn grant(&mut self, job: JobId, server: ProcId) -> Vec<MomAction> {
-        let entry = self.jobs.get_mut(&job).expect("granted job exists");
+        // A verdict for a job this mom no longer tracks (e.g. cancelled
+        // while the acquire was in flight) is ignorable, not fatal (F003).
+        let Some(entry) = self.jobs.get_mut(&job) else { return vec![] };
         let session = entry.sessions.get(&server).map(|s| s.id).unwrap_or(0);
         match entry.phase {
             Phase::Arbitrating => {

@@ -197,8 +197,9 @@ impl PbsMomProcess {
 
 impl Process for PbsMomProcess {
     fn on_message(&mut self, ctx: &mut Ctx<'_>, _from: ProcId, msg: Msg) {
-        let msg = *msg.downcast::<MomInbound>().expect("MomInbound");
-        let actions = self.core.on_msg(msg);
+        // A daemon must degrade on an unexpected payload, not die (F003).
+        let Ok(msg) = msg.downcast::<MomInbound>() else { return };
+        let actions = self.core.on_msg(*msg);
         self.perform(ctx, actions);
     }
 
@@ -338,11 +339,18 @@ impl Process for PbsClientProcess {
         let Ok(reply) = msg.downcast::<ClientReply>() else {
             return;
         };
-        let Some(out) = &self.outstanding else { return };
+        // Take-then-reinsert instead of check-then-unwrap: a duplicate or
+        // late reply (retried request already answered, or a reply racing
+        // the completion of the script) must be a no-op, never a panic.
+        let Some(out) = self.outstanding.take() else {
+            return; // late reply: nothing in flight any more
+        };
         if reply.req_id != out.req_id {
-            return; // stale duplicate from a retried request
+            // Stale duplicate from a retried request: put the live
+            // request back and keep waiting.
+            self.outstanding = Some(out);
+            return;
         }
-        let out = self.outstanding.take().unwrap();
         ctx.cancel_timer(out.timer);
         ctx.emit(SubmitRecord {
             index: self.index,
@@ -363,19 +371,25 @@ impl Process for PbsClientProcess {
             1 => {
                 // Timeout: fail over to the next head and retry the same
                 // request id.
-                let Some(out) = &mut self.outstanding else { return };
-                self.current_target = (self.current_target + 1) % self.targets.len();
-                let target = self.targets[self.current_target];
-                out.attempts += 1;
-                out.sent = ctx.now();
-                let req = ClientRequest {
-                    client: ctx.me(),
-                    req_id: out.req_id,
-                    cmd: out.cmd.clone(),
-                };
-                ctx.send(target, req);
+                let next_target = (self.current_target + 1) % self.targets.len();
+                self.current_target = next_target;
+                let target = self.targets[next_target];
+                let me = ctx.me();
+                let now = ctx.now();
                 let timer = ctx.set_timer(self.timeout, 1);
-                self.outstanding.as_mut().unwrap().timer = timer;
+                // One borrow of the outstanding slot for the whole update:
+                // no second `as_mut().unwrap()` that could race a reply
+                // clearing the slot between the two accesses (F003).
+                let Some(out) = &mut self.outstanding else {
+                    ctx.cancel_timer(timer);
+                    return;
+                };
+                out.attempts += 1;
+                out.sent = now;
+                out.timer = timer;
+                let req =
+                    ClientRequest { client: me, req_id: out.req_id, cmd: out.cmd.clone() };
+                ctx.send(target, req);
             }
             2 => self.send_next(ctx),
             _ => {}

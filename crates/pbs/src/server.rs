@@ -299,7 +299,9 @@ impl PbsServerCore {
             .map(|j| j.id)
             .collect();
         for id in running_ids {
-            let j = self.jobs.get_mut(&id).expect("listed job");
+            // The id was collected from `jobs` above, but degrade rather
+            // than panic on the delivery path if that ever changes (F003).
+            let Some(j) = self.jobs.get_mut(&id) else { continue };
             let nodes = std::mem::take(&mut j.allocated);
             j.state = JobState::Queued;
             let mom = nodes.first().and_then(|n| self.pool.mom_of(n));
@@ -351,8 +353,11 @@ impl PbsServerCore {
             let Some(alloc) = self.policy.select(now, &queued, &self.pool, &running) else {
                 break;
             };
+            // Check the job before committing the allocation: a policy
+            // that names an unknown job must stall the pass, not panic a
+            // replica mid-delivery (F003).
+            let Some(job) = self.jobs.get_mut(&alloc.job) else { break };
             self.pool.allocate(&alloc.nodes);
-            let job = self.jobs.get_mut(&alloc.job).expect("policy picked known job");
             job.state = JobState::Running;
             job.allocated = alloc.nodes.clone();
             self.running_since.insert(alloc.job, now);

@@ -64,6 +64,28 @@ impl<'a> Reader<'a> {
     }
 }
 
+/// Read a little-endian `u32` starting at `pos`, tolerating short input
+/// (missing bytes read as zero). Callers bound-check `pos + 4 <= len`
+/// before trusting the value; the read itself cannot panic, keeping the
+/// recovery path free of panic constructs (F003).
+pub fn le_u32_at(data: &[u8], pos: usize) -> u32 {
+    let mut b = [0u8; 4];
+    for (slot, &v) in b.iter_mut().zip(data.get(pos..).unwrap_or(&[])) {
+        *slot = v;
+    }
+    u32::from_le_bytes(b)
+}
+
+/// Read a little-endian `u64` starting at `pos`; same contract as
+/// [`le_u32_at`].
+pub fn le_u64_at(data: &[u8], pos: usize) -> u64 {
+    let mut b = [0u8; 8];
+    for (slot, &v) in b.iter_mut().zip(data.get(pos..).unwrap_or(&[])) {
+        *slot = v;
+    }
+    u64::from_le_bytes(b)
+}
+
 /// Deterministic binary encoding/decoding of one type.
 pub trait Codec: Sized {
     /// Append this value's encoding to `out`.

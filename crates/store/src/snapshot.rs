@@ -63,13 +63,14 @@ impl SnapshotStore {
         if data.len() < 12 {
             return None;
         }
-        let crc_bytes: [u8; 4] = data[..4].try_into().expect("sized slice");
+        // The `len < 12` check above bounds both reads; the helpers
+        // cannot panic regardless (F003: recovery must degrade, not die).
+        let want_crc = crate::codec::le_u32_at(&data, 0);
         let payload = &data[4..];
-        if crc32(payload) != u32::from_le_bytes(crc_bytes) {
+        if crc32(payload) != want_crc {
             return None;
         }
-        let idx_bytes: [u8; 8] = payload[..8].try_into().expect("sized slice");
-        Some((u64::from_le_bytes(idx_bytes), payload[8..].to_vec()))
+        Some((crate::codec::le_u64_at(payload, 0), payload[8..].to_vec()))
     }
 }
 

@@ -85,6 +85,7 @@ impl Wal {
         let mut payload = Vec::with_capacity(IDX + blob.len());
         payload.extend_from_slice(&idx.to_le_bytes());
         payload.extend_from_slice(blob);
+        // flow: allow(F003): a >4 GiB record is unrepresentable in the u32 frame format; failing loudly at the writer beats silently truncating the length and corrupting every later record
         let len = u32::try_from(payload.len()).expect("WAL record exceeds u32 length");
         let mut rec = Vec::with_capacity(HEADER + payload.len());
         rec.extend_from_slice(&len.to_le_bytes());
@@ -112,10 +113,10 @@ impl Wal {
                 // Partial frame header: torn tail.
                 return Ok(Replay { entries, valid_len: pos, torn: true });
             }
-            let len_bytes: [u8; 4] = data[pos..pos + 4].try_into().expect("sized slice");
-            let crc_bytes: [u8; 4] = data[pos + 4..pos + 8].try_into().expect("sized slice");
-            let len = usize::try_from(u32::from_le_bytes(len_bytes)).expect("u32 fits usize");
-            let want_crc = u32::from_le_bytes(crc_bytes);
+            // `remaining >= HEADER` bounds both reads; the helpers cannot
+            // panic regardless, and u32 → usize is a widening cast here.
+            let len = crate::codec::le_u32_at(&data, pos) as usize;
+            let want_crc = crate::codec::le_u32_at(&data, pos + 4);
             let end = pos + HEADER + len;
             if len < IDX || end > data.len() {
                 // Payload runs past end-of-file (or is impossibly short,
@@ -129,10 +130,12 @@ impl Wal {
                     return Ok(Replay { entries, valid_len: pos, torn: true });
                 }
                 // Damage strictly mid-log: corruption, not a torn write.
-                return Err(WalError::Corruption { offset: u64::try_from(pos).expect("offset") });
+                // (usize → u64 is widening on every supported platform.)
+                return Err(WalError::Corruption { offset: pos as u64 });
             }
-            let idx_bytes: [u8; 8] = payload[..IDX].try_into().expect("sized slice");
-            entries.push((u64::from_le_bytes(idx_bytes), payload[IDX..].to_vec()));
+            // `len >= IDX` was checked above; the helper tolerates short
+            // input anyway.
+            entries.push((crate::codec::le_u64_at(payload, 0), payload[IDX..].to_vec()));
             pos = end;
         }
         Ok(Replay { entries, valid_len: pos, torn: false })

@@ -1,0 +1,39 @@
+//! Workspace call-graph analysis gate.
+//!
+//! `cargo test` must fail if the replication-boundary, nondeterminism-
+//! reachability, panic-reachability, or protocol-exhaustiveness
+//! invariants regress anywhere in the workspace (see `crates/flow` and
+//! DESIGN.md §10). The same check runs in CI as
+//! `cargo run -p jrs-flow -- check`; this test wires it into the
+//! ordinary test loop so a leak never gets as far as a pull request.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_flow_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = jrs_flow::FlowConfig::workspace();
+    let report = jrs_flow::check_workspace(&cfg, root).expect("workspace scan must succeed");
+    assert!(
+        report.files_scanned > 20,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.fns > 500 && report.edges > 1000,
+        "suspiciously small call graph ({} fns, {} edges) — extractor broken?",
+        report.fns,
+        report.edges
+    );
+    if !report.clean() {
+        let mut msg = format!(
+            "jrs-flow found {} finding(s) — fix them or add a justified \
+             `// flow: allow(RULE): reason` pragma:\n",
+            report.findings.len()
+        );
+        for f in &report.findings {
+            msg.push_str(&format!("{f}\n"));
+        }
+        panic!("{msg}");
+    }
+}
