@@ -1,0 +1,221 @@
+//! Committed perf-trajectory baseline: ordering and persistence
+//! microbenches plus the Figure-10 submission-latency reproduction,
+//! emitted as machine-readable JSON.
+//!
+//! Two modes:
+//!
+//! * `bench_baseline` — full run; redirect stdout to `BENCH_<n>.json`
+//!   and commit it so every later PR's numbers have something to
+//!   regress against.
+//! * `bench_baseline --check` — CI smoke: tiny sizes, asserts the
+//!   harness still produces sane, internally consistent numbers
+//!   (positive latencies, deliveries actually happening, WAL replay
+//!   inverting append) without caring about absolute speed, which is
+//!   machine-dependent.
+//!
+//! Wall-clock numbers measure the Rust implementation on the build
+//! machine, not the simulated testbed; the Fig-10 rows carry the
+//! sim-time latencies, which are deterministic per seed.
+
+use joshua_core::cluster::HaMode;
+use joshua_core::payload::Payload;
+use jrs_bench::latency_experiment;
+use jrs_gcs::config::{EngineKind, GroupConfig};
+use jrs_gcs::testkit::Pump;
+use jrs_pbs::job::JobSpec;
+use jrs_pbs::server::ServerCmd;
+use jrs_sim::{ProcId, SimDisk, SimTime};
+use jrs_store::codec::Codec;
+use jrs_store::wal::Wal;
+use std::hint::black_box;
+use std::time::Instant;
+
+struct OrderingRow {
+    engine: &'static str,
+    members: u32,
+    msgs: usize,
+    ns_per_msg: f64,
+}
+
+/// In-memory pump: order `msgs` broadcasts through an n-member group.
+fn bench_ordering(members: u32, engine: EngineKind, msgs: usize) -> OrderingRow {
+    // Warm-up pass keeps one-time setup out of the measured loop.
+    for _ in 0..2 {
+        let mut pump = Pump::<u32>::group(members, GroupConfig::with_engine(engine));
+        for i in 0..msgs as u32 {
+            pump.broadcast(ProcId(i % members), i);
+        }
+        assert!(!pump.delivered.is_empty(), "ordering pump delivered nothing");
+    }
+    let start = Instant::now();
+    let mut pump = Pump::<u32>::group(members, GroupConfig::with_engine(engine));
+    for i in 0..msgs as u32 {
+        pump.broadcast(ProcId(i % members), i);
+    }
+    let elapsed = start.elapsed();
+    black_box(pump.delivered.len());
+    OrderingRow {
+        engine: match engine {
+            EngineKind::Sequencer => "Sequencer",
+            EngineKind::Token => "Token",
+        },
+        members,
+        msgs,
+        ns_per_msg: elapsed.as_nanos() as f64 / msgs as f64,
+    }
+}
+
+struct PersistRows {
+    record_bytes: usize,
+    payload_encode_ns: f64,
+    payload_decode_ns: f64,
+    wal_append_ns: f64,
+    wal_replay_ns: f64,
+    records: usize,
+}
+
+/// Representative replicated command: a qsub riding in a Client payload.
+fn sample_payload(i: u64) -> Payload {
+    Payload::Client {
+        client: ProcId((i % 7) as u32),
+        req_id: i,
+        cmd: ServerCmd::Qsub(JobSpec::trivial(format!("job-{i}"))),
+    }
+}
+
+fn bench_persist(records: usize) -> PersistRows {
+    let blobs: Vec<Vec<u8>> = (0..records as u64).map(|i| sample_payload(i).to_bytes()).collect();
+    let record_bytes = blobs[0].len();
+
+    let start = Instant::now();
+    for i in 0..records as u64 {
+        black_box(sample_payload(i).to_bytes());
+    }
+    let payload_encode_ns = start.elapsed().as_nanos() as f64 / records as f64;
+
+    let start = Instant::now();
+    for b in &blobs {
+        black_box(Payload::from_bytes(b).expect("encoded payload decodes"));
+    }
+    let payload_decode_ns = start.elapsed().as_nanos() as f64 / records as f64;
+
+    let wal = Wal::new("bench.wal");
+    let mut disk = SimDisk::new();
+    let start = Instant::now();
+    for (i, b) in blobs.iter().enumerate() {
+        wal.append(&mut disk, i as u64, b);
+    }
+    let wal_append_ns = start.elapsed().as_nanos() as f64 / records as f64;
+    disk.fsync("bench.wal", SimTime::ZERO);
+
+    let start = Instant::now();
+    let replay = wal.replay(&disk).expect("clean WAL replays");
+    let wal_replay_ns = start.elapsed().as_nanos() as f64 / records as f64;
+    assert_eq!(replay.entries.len(), records, "replay must invert append");
+    assert!(!replay.torn, "clean WAL must not report a torn tail");
+
+    PersistRows {
+        record_bytes,
+        payload_encode_ns,
+        payload_decode_ns,
+        wal_append_ns,
+        wal_replay_ns,
+        records,
+    }
+}
+
+fn main() {
+    let check = std::env::args().any(|a| a == "--check");
+    let (msgs, records, jobs) = if check { (200, 500, 10) } else { (5_000, 20_000, 100) };
+    let seed = 2006u64;
+
+    let mut ordering = Vec::new();
+    for members in [1u32, 2, 4] {
+        for engine in [EngineKind::Sequencer, EngineKind::Token] {
+            ordering.push(bench_ordering(members, engine, msgs));
+        }
+    }
+
+    let persist = bench_persist(records);
+
+    let modes = [
+        ("TORQUE", HaMode::SingleHead),
+        ("JOSHUA/TORQUE", HaMode::Joshua { heads: 1 }),
+        ("JOSHUA/TORQUE", HaMode::Joshua { heads: 2 }),
+        ("JOSHUA/TORQUE", HaMode::Joshua { heads: 3 }),
+        ("JOSHUA/TORQUE", HaMode::Joshua { heads: 4 }),
+    ];
+    let fig10: Vec<_> = modes.iter().map(|(_, mode)| latency_experiment(*mode, jobs, seed)).collect();
+
+    if check {
+        for r in &ordering {
+            assert!(r.ns_per_msg > 0.0, "{}x{}: non-positive timing", r.engine, r.members);
+        }
+        assert!(persist.payload_encode_ns > 0.0 && persist.wal_append_ns > 0.0);
+        for row in &fig10 {
+            assert!(
+                row.mean_ms > 0.0 && row.p99_ms >= row.p50_ms && row.count > 0,
+                "implausible latency row for {} heads: mean {}ms p50 {}ms p99 {}ms",
+                row.heads,
+                row.mean_ms,
+                row.p50_ms,
+                row.p99_ms
+            );
+        }
+        // Replication must cost something: the 4-head mean cannot be
+        // below the single-head mean (that would mean the harness is
+        // no longer measuring the ordering round).
+        assert!(
+            fig10[4].mean_ms >= fig10[0].mean_ms,
+            "4-head latency ({:.1}ms) below single-head ({:.1}ms) — harness broken?",
+            fig10[4].mean_ms,
+            fig10[0].mean_ms
+        );
+        eprintln!("bench baseline smoke OK ({msgs} msgs, {records} records, {jobs} jobs)");
+        return;
+    }
+
+    // Hand-rolled JSON, like the analysis tools: zero dependencies.
+    let mut out = String::from("{\n  \"schema\": \"bench-baseline-v1\",\n");
+    out.push_str(&format!(
+        "  \"config\": {{ \"msgs\": {msgs}, \"records\": {records}, \"jobs\": {jobs}, \"seed\": {seed} }},\n"
+    ));
+    out.push_str("  \"ordering\": [\n");
+    for (i, r) in ordering.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{ \"engine\": \"{}\", \"members\": {}, \"msgs\": {}, \"ns_per_msg\": {:.0} }}{}\n",
+            r.engine,
+            r.members,
+            r.msgs,
+            r.ns_per_msg,
+            if i + 1 < ordering.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"persist\": {{ \"records\": {}, \"record_bytes\": {}, \"payload_encode_ns\": {:.0}, \
+         \"payload_decode_ns\": {:.0}, \"wal_append_ns\": {:.0}, \"wal_replay_ns\": {:.0} }},\n",
+        persist.records,
+        persist.record_bytes,
+        persist.payload_encode_ns,
+        persist.payload_decode_ns,
+        persist.wal_append_ns,
+        persist.wal_replay_ns
+    ));
+    out.push_str("  \"fig10\": [\n");
+    for (i, (row, (label, _))) in fig10.iter().zip(modes.iter()).enumerate() {
+        out.push_str(&format!(
+            "    {{ \"system\": \"{}\", \"heads\": {}, \"mean_ms\": {:.2}, \"p50_ms\": {:.2}, \
+             \"p99_ms\": {:.2}, \"count\": {} }}{}\n",
+            label,
+            row.heads,
+            row.mean_ms,
+            row.p50_ms,
+            row.p99_ms,
+            row.count,
+            if i + 1 < fig10.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    print!("{out}");
+}

@@ -66,6 +66,48 @@ impl Report {
     pub fn clean(&self) -> bool {
         self.violations.is_empty()
     }
+
+    /// Render as a JSON object (hand-rolled: the lint stays
+    /// zero-dependency), the form CI archives as an artifact.
+    pub fn to_json(&self) -> String {
+        let mut s = format!(
+            "{{\"files_scanned\":{},\"findings\":[",
+            self.files_scanned
+        );
+        for (i, v) in self.violations.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{}}}",
+                json_str(v.rule),
+                json_str(&v.path),
+                v.line,
+                json_str(&v.message)
+            ));
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }
 
 /// Lint one file's source text (the unit the fixture tests drive).

@@ -8,7 +8,7 @@ fn usage() -> ExitCode {
         "jrs-detlint — determinism/robustness lint for the JOSHUA workspace
 
 USAGE:
-    jrs-detlint check [--root <dir>]   lint every src/**/*.rs; exit 1 on violations
+    jrs-detlint check [--root <dir>] [--json]   lint every src/**/*.rs; exit 1 on violations
     jrs-detlint rules                  print the rule table and per-crate exemptions
 
 Suppress a finding inline with `// detlint: allow(D001): <reason>` on the
@@ -31,6 +31,7 @@ fn main() -> ExitCode {
 
 fn check(args: &[String]) -> ExitCode {
     let mut root: Option<PathBuf> = None;
+    let mut json = false;
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -38,6 +39,7 @@ fn check(args: &[String]) -> ExitCode {
                 Some(dir) => root = Some(PathBuf::from(dir)),
                 None => return usage(),
             },
+            "--json" => json = true,
             _ => return usage(),
         }
     }
@@ -60,6 +62,10 @@ fn check(args: &[String]) -> ExitCode {
 
     match jrs_detlint::check_workspace(&root) {
         Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+                return if report.clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
             for v in &report.violations {
                 println!("{v}");
             }

@@ -187,3 +187,17 @@ fn diagnostic_format() {
     let s = v[0].to_string();
     assert!(s.starts_with("crates/gcs/src/fixture.rs:1: D001: "), "{s}");
 }
+
+/// The `--json` report CI archives: valid shape, escaped strings.
+#[test]
+fn json_report_shape() {
+    let report = jrs_detlint::Report {
+        files_scanned: 1,
+        violations: check_source("crates/gcs/src/fixture.rs", "use std::collections::HashMap;\n"),
+    };
+    let j = report.to_json();
+    assert!(j.starts_with('{') && j.ends_with('}'), "{j}");
+    assert!(j.contains("\"files_scanned\":1"), "{j}");
+    assert!(j.contains("\"rule\":\"D001\""), "{j}");
+    assert!(!j.contains('\n'), "single-line JSON: {j}");
+}

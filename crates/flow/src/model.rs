@@ -145,6 +145,10 @@ pub struct StructDef {
     pub name: String,
     /// `(field, peeled type)`.
     pub fields: Vec<(String, String)>,
+    /// Defined inside `#[cfg(test)]` / `#[test]` scaffolding. Test-only
+    /// types never resolve lookups for shipping code: a fixture struct
+    /// sharing a name with a production type must not shadow it.
+    pub is_test: bool,
 }
 
 /// An enum definition: the variant list drives F004 exhaustiveness.
@@ -160,6 +164,10 @@ pub struct EnumDef {
     pub name: String,
     /// Variant names in declaration order.
     pub variants: Vec<String>,
+    /// Defined inside `#[cfg(test)]` / `#[test]` scaffolding. Fixture
+    /// enums (e.g. a test module's own `Wire`) must never shadow the
+    /// shipping protocol enum of the same name.
+    pub is_test: bool,
 }
 
 /// One arm of a `match`, pattern text only (up to `=>`, guard kept).
@@ -226,11 +234,12 @@ impl Model {
     }
 
     /// Field type of `type_name.field`, searched across all crates.
+    /// Shipping definitions always win over `#[cfg(test)]` fixtures.
     pub fn field_type(&self, type_name: &str, field: &str) -> Option<&str> {
-        self.files
-            .iter()
-            .flat_map(|f| &f.structs)
-            .find(|s| s.name == type_name)
+        let all = || self.files.iter().flat_map(|f| &f.structs);
+        all()
+            .find(|s| s.name == type_name && !s.is_test)
+            .or_else(|| all().find(|s| s.name == type_name))
             .and_then(|s| {
                 s.fields.iter().find(|(n, _)| n == field).map(|(_, t)| t.as_str())
             })
@@ -238,7 +247,13 @@ impl Model {
 
     /// Enum definition by name (protocol enum names are unique in this
     /// workspace; first match wins deterministically by file order).
+    /// `#[cfg(test)]` fixture enums are excluded entirely: the rules
+    /// must resolve protocol enums against shipping code only, never a
+    /// test module's embedded copy.
     pub fn enum_def(&self, name: &str) -> Option<&EnumDef> {
-        self.files.iter().flat_map(|f| &f.enums).find(|e| e.name == name)
+        self.files
+            .iter()
+            .flat_map(|f| &f.enums)
+            .find(|e| e.name == name && !e.is_test)
     }
 }

@@ -194,6 +194,7 @@ pub fn extract(rel_path: &str, text: &str) -> FileFacts {
                                     crate_key: key.clone(),
                                     name: item_name(&sig, "struct"),
                                     fields: Vec::new(),
+                                    is_test,
                                 });
                                 blocks.push(Block {
                                     open_depth,
@@ -207,6 +208,7 @@ pub fn extract(rel_path: &str, text: &str) -> FileFacts {
                                     line: sig_line,
                                     name: item_name(&sig, "enum"),
                                     variants: Vec::new(),
+                                    is_test,
                                 });
                                 blocks.push(Block {
                                     open_depth,
@@ -1114,6 +1116,46 @@ pub enum Wire<P> {
         let facts = extract("crates/gcs/src/x.rs", src);
         assert_eq!(facts.enums.len(), 1);
         assert_eq!(facts.enums[0].variants, vec!["Raw", "Data", "Ack"]);
+    }
+
+    #[test]
+    fn test_module_items_never_shadow_shipping_definitions() {
+        // A fixture module re-declares a protocol enum (extra variant)
+        // and a struct; lookups must resolve to the shipping versions.
+        // Regression for the jrs-flow/jrs-proto shared index: the file
+        // with the fixture sorts *before* the real definition.
+        let fixture = "\
+#[cfg(test)]
+mod tests {
+    pub enum Wire<P> {
+        Raw(GcsMsg<P>),
+        Bogus(u8),
+    }
+    struct Server { core: FakeEngine }
+}
+";
+        let real = "\
+pub enum Wire<P> {
+    Raw(GcsMsg<P>),
+    Data { seq: u64, msg: GcsMsg<P> },
+    Ack { cum: u64 },
+}
+struct Server { core: Engine }
+";
+        let model = crate::model::Model {
+            files: vec![
+                extract("crates/flow/src/a.rs", fixture),
+                extract("crates/gcs/src/msg.rs", real),
+            ],
+        };
+        let wire = model.enum_def("Wire").expect("shipping Wire resolves");
+        assert_eq!(wire.path, "crates/gcs/src/msg.rs");
+        assert_eq!(wire.variants, vec!["Raw", "Data", "Ack"]);
+        assert_eq!(model.field_type("Server", "core"), Some("Engine"));
+        // The fixture items are still extracted, just flagged.
+        let fx = &model.files[0];
+        assert!(fx.enums.iter().all(|e| e.is_test));
+        assert!(fx.structs.iter().all(|s| s.is_test));
     }
 
     #[test]

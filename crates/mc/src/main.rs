@@ -41,7 +41,7 @@ fn main() -> ExitCode {
 const USAGE: &str = "usage:
   jrs-mc check  [--procs N] [--depth N] [--faults N] [--submits N]
                 [--engine sequencer|token] [--mutate none|grant-on-forward|no-cover]
-                [--mode naive|dpor] [--no-dedup] [--compare] [--budget-secs N]
+                [--mode naive|dpor] [--no-dedup] [--compare] [--budget-secs N] [--json]
   jrs-mc replay --trace TRACE [config flags as above]
 
 exit codes: 0 clean, 1 violation found, 2 usage error";
@@ -54,6 +54,7 @@ struct Opts {
     compare: bool,
     budget_secs: Option<u64>,
     trace: Option<String>,
+    json: bool,
 }
 
 impl Opts {
@@ -78,6 +79,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
         compare: false,
         budget_secs: None,
         trace: None,
+        json: false,
     };
     let mut it = args.iter();
     while let Some(flag) = it.next() {
@@ -106,6 +108,7 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.mode = Mode::parse(v).ok_or_else(|| format!("unknown mode {v:?}"))?;
             }
             "--compare" => o.compare = true,
+            "--json" => o.json = true,
             "--no-dedup" => o.dedup = false,
             "--budget-secs" => o.budget_secs = Some(num(val("--budget-secs")?)?),
             "--trace" => o.trace = Some(val("--trace")?.clone()),
@@ -135,10 +138,15 @@ fn run_check(args: &[String]) -> Result<ExitCode, String> {
     if o.trace.is_some() {
         return Err("--trace belongs to the replay subcommand".into());
     }
+    if o.json && o.compare {
+        return Err("--json and --compare are mutually exclusive".into());
+    }
+    if !o.json {
     println!(
         "jrs-mc check: procs={} depth={} faults={} submits={} engine={:?} mutate={}",
         o.cfg.procs, o.depth, o.cfg.faults, o.cfg.submits, o.cfg.engine, o.cfg.mutation.name()
     );
+    }
     let start = World::new(o.cfg.clone());
     if o.compare {
         // The reduction comparison runs stateless (no dedup): that is
@@ -159,8 +167,63 @@ fn run_check(args: &[String]) -> Result<ExitCode, String> {
         return report(&start, &o, dpor);
     }
     let out = o.search(o.mode).run(&start, o.depth);
+    if o.json {
+        return report_json(&start, &o, out);
+    }
     print_stats("result", stats_of(&out));
     report(&start, &o, out)
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Machine-readable outcome, the form CI archives as an artifact.
+fn report_json(start: &World, o: &Opts, out: Outcome) -> Result<ExitCode, String> {
+    let s = stats_of(&out);
+    let mut j = format!(
+        "{{\"procs\":{},\"depth\":{},\"faults\":{},\"submits\":{},\"engine\":{},\"mutate\":{},\"explored\":{},\"deduped\":{},\"slept\":{},\"settled\":{},\"truncated\":{}",
+        o.cfg.procs,
+        o.depth,
+        o.cfg.faults,
+        o.cfg.submits,
+        json_str(&format!("{:?}", o.cfg.engine)),
+        json_str(o.cfg.mutation.name()),
+        s.explored,
+        s.deduped,
+        s.slept,
+        s.settled,
+        s.truncated
+    );
+    let code = match out {
+        Outcome::Clean(_) => {
+            j.push_str(",\"outcome\":\"clean\"}");
+            ExitCode::SUCCESS
+        }
+        Outcome::Violation { violation, trace, .. } => {
+            let min = minimize(start, &trace);
+            j.push_str(&format!(
+                ",\"outcome\":\"violation\",\"violation\":{},\"trace\":{}}}",
+                json_str(&format!("{violation:?}")),
+                json_str(&format_trace(&min))
+            ));
+            ExitCode::FAILURE
+        }
+    };
+    println!("{j}");
+    Ok(code)
 }
 
 fn stats_of(out: &Outcome) -> Stats {

@@ -1,0 +1,917 @@
+//! Build the [`ProtoModel`]: parse every `impl Codec` body into
+//! ordered encode/decode shapes, and classify every registered
+//! protocol-enum variant occurrence as a construct or handle site.
+//!
+//! Like its siblings this is a line/token scanner tuned to
+//! rustfmt-shaped code, not a parser. Anything it cannot classify
+//! degrades to an `Opaque` shape, which the rules refuse to pass
+//! silently: unparseable codecs must either be restructured or carry
+//! an audited allowlist entry.
+
+use crate::model::{
+    CodecImpl, DecField, DecSide, EncOp, EncSide, FileScan, ProtoModel, UseKind,
+    VariantDec, VariantEnc, VariantUse,
+};
+use crate::rules::ProtoConfig;
+use jrs_detlint::scanner::preprocess_keyed;
+use jrs_flow::model::{FileFacts, Model};
+use std::collections::BTreeMap;
+
+/// Build the protocol model from a flow model (consumes it; the flow
+/// model rides along for type lookups).
+pub fn build(cfg: &ProtoConfig, flow: Model) -> ProtoModel {
+    let mut codecs: Vec<CodecImpl> = Vec::new();
+    let mut uses: Vec<VariantUse> = Vec::new();
+    let mut scans: Vec<FileScan> = Vec::new();
+
+    // Enum name -> shipping variant list, for use-site scanning.
+    let matrix_variants: Vec<(String, Vec<String>)> = cfg
+        .matrix
+        .iter()
+        .filter_map(|m| {
+            flow.enum_def(&m.name).map(|d| (m.name.clone(), d.variants.clone()))
+        })
+        .collect();
+
+    for facts in &flow.files {
+        let clean = preprocess_keyed(&facts.text, "proto");
+
+        collect_codecs(facts, &clean.code_lines, &mut codecs);
+        collect_uses(cfg, facts, &clean.code_lines, &matrix_variants, &mut uses);
+        scans.push(FileScan {
+            path: facts.path.clone(),
+            lines: clean.code_lines,
+            pragmas: clean.pragmas,
+        });
+    }
+
+    ProtoModel { flow, codecs, uses, scans }
+}
+
+/// `(line_no, clean text)` for the body span of one fn.
+fn span(lines: &[String], first: usize, last: usize) -> Vec<(usize, &str)> {
+    (first..=last)
+        .filter_map(|n| lines.get(n - 1).map(|l| (n, l.as_str())))
+        .collect()
+}
+
+fn collect_codecs(facts: &FileFacts, lines: &[String], out: &mut Vec<CodecImpl>) {
+    // type -> (enc fn, dec fn)
+    let mut halves: BTreeMap<&str, (Option<&jrs_flow::model::FnDef>, Option<&jrs_flow::model::FnDef>)> =
+        BTreeMap::new();
+    for f in &facts.fns {
+        if f.is_test || f.impl_trait.as_deref() != Some("Codec") {
+            continue;
+        }
+        let Some(ty) = f.impl_type.as_deref() else { continue };
+        let slot = halves.entry(ty).or_default();
+        match f.name.as_str() {
+            "encode" => slot.0 = Some(f),
+            "decode" => slot.1 = Some(f),
+            _ => {}
+        }
+    }
+    for (ty, (enc_fn, dec_fn)) in halves {
+        let (Some(e), Some(d)) = (enc_fn, dec_fn) else { continue };
+        out.push(CodecImpl {
+            type_name: ty.to_string(),
+            path: facts.path.clone(),
+            enc_line: e.line,
+            dec_line: d.line,
+            enc: parse_encode(&span(lines, e.line, e.end_line)),
+            dec: parse_decode(&span(lines, d.line, d.end_line)),
+        });
+    }
+}
+
+// ----------------------------------------------------------------------
+// encode-side parsing
+// ----------------------------------------------------------------------
+
+fn parse_encode(body: &[(usize, &str)]) -> EncSide {
+    // Enum codecs match over self; a tag table binds the discriminant
+    // first: `let tag: u8 = match self { V => 0, .. }` then
+    // `tag.encode(out)`.
+    for (i, (_, l)) in body.iter().enumerate() {
+        if let Some(pos) = find_token(l, "match") {
+            let rest = l[pos + "match".len()..].trim_start();
+            let rest = rest.trim_start_matches(['*', '&']);
+            if let Some(after) = rest.strip_prefix("self") {
+                // `match self` / `match *self`, but not `match self.kind`.
+                let scrutinee_is_self = !after
+                    .chars()
+                    .next()
+                    .is_some_and(|c| c.is_alphanumeric() || c == '_' || c == '.');
+                if scrutinee_is_self {
+                    let table = parse_tag_table_let(l);
+                    return parse_encode_match(body, i, table);
+                }
+            }
+        }
+    }
+    let mut ops = Vec::new();
+    for (_, l) in body {
+        scan_encode_ops(l, &mut ops);
+    }
+    if ops.is_empty() {
+        EncSide::Opaque("no field or tag writes recognized".to_string())
+    } else {
+        EncSide::Struct(ops)
+    }
+}
+
+/// `let NAME: uN = match self {` -> `(NAME, N)`.
+fn parse_tag_table_let(l: &str) -> Option<(String, u8)> {
+    let t = l.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let (name, rest) = rest.split_once(':')?;
+    let ty = rest.trim_start();
+    let width = ["u8", "u16", "u32", "u64"]
+        .iter()
+        .find(|w| ty.starts_with(**w))
+        .and_then(|w| w[1..].parse::<u8>().ok())?;
+    Some((name.trim().to_string(), width))
+}
+
+fn parse_encode_match(
+    body: &[(usize, &str)],
+    match_idx: usize,
+    table: Option<(String, u8)>,
+) -> EncSide {
+    let mut variants: Vec<VariantEnc> = Vec::new();
+    let mut width: Option<u8> = table.as_ref().map(|(_, w)| *w);
+    let mut depth = 0i32;
+    // Current arm: (variant, bindings, renamed, tag-table value, ops)
+    type EncArm = (String, Vec<String>, bool, Option<u64>, Vec<EncOp>, usize);
+    let mut cur: Option<EncArm> = None;
+
+    let finish =
+        |cur: &mut Option<EncArm>,
+         variants: &mut Vec<VariantEnc>,
+         width: &mut Option<u8>| {
+            let Some((name, _binds, renamed, table_val, mut ops, line)) = cur.take() else {
+                return;
+            };
+            if renamed {
+                ops.push(EncOp::Opaque("arm pattern renames fields".to_string()));
+            }
+            let (tag, tag_width) = if let Some(v) = table_val {
+                (Some(v), *width)
+            } else if let Some(EncOp::Tag { value, width: w }) = ops.first().cloned() {
+                ops.remove(0);
+                if width.is_none() {
+                    *width = Some(w);
+                }
+                (Some(value), Some(w))
+            } else {
+                (None, None)
+            };
+            variants.push(VariantEnc { name, line, tag, tag_width, ops });
+        };
+
+    for (i, (n, l)) in body.iter().enumerate() {
+        if i < match_idx {
+            continue;
+        }
+        if i > match_idx && depth == 1 {
+            if let Some(arrow) = l.find("=>") {
+                finish(&mut cur, &mut variants, &mut width);
+                let pat = &l[..arrow];
+                let rhs = &l[arrow + 2..];
+                match parse_arm_pattern(pat) {
+                    Some((variant, binds, renamed)) => {
+                        let table_val = table
+                            .as_ref()
+                            .and_then(|_| parse_int(rhs.trim().trim_end_matches(',')));
+                        let mut ops = Vec::new();
+                        scan_encode_ops(rhs, &mut ops);
+                        cur = Some((variant, binds, renamed, table_val, ops, *n));
+                    }
+                    None => {
+                        return EncSide::Opaque(format!(
+                            "unrecognized encode arm pattern `{}`",
+                            pat.trim()
+                        ));
+                    }
+                }
+            }
+        } else if i > match_idx && depth >= 2 {
+            if let Some(c) = cur.as_mut() {
+                scan_encode_ops(l, &mut c.4);
+            }
+        }
+        depth += net_braces(l);
+        if i > match_idx && depth <= 0 {
+            break;
+        }
+    }
+    finish(&mut cur, &mut variants, &mut width);
+    if variants.is_empty() {
+        return EncSide::Opaque("match over self with no parseable arms".to_string());
+    }
+    EncSide::Enum { width, variants }
+}
+
+/// `Payload::Client { client, req_id, cmd }` / `ServerCmd::Qsub(spec)`
+/// / `JobState::Queued` -> `(variant, bound names, renamed?)`.
+fn parse_arm_pattern(p: &str) -> Option<(String, Vec<String>, bool)> {
+    let p = p.trim().trim_start_matches('&').trim_start_matches("mut ").trim();
+    let head_end = p
+        .char_indices()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_' || *c == ':')
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    let head = &p[..head_end];
+    let variant = head.rsplit("::").next()?.trim();
+    if variant.is_empty() || !variant.chars().next().is_some_and(char::is_uppercase) {
+        return None;
+    }
+    let rest = p[head_end..].trim_start();
+    let mut binds = Vec::new();
+    let mut renamed = false;
+    if rest.starts_with('{') || rest.starts_with('(') {
+        let (open, close) = if rest.starts_with('{') { ('{', '}') } else { ('(', ')') };
+        let inner = balanced(rest, open, close)?;
+        for part in split_top_level(&inner, ',') {
+            let part = part.trim();
+            if part.is_empty() || part == ".." {
+                continue;
+            }
+            if part.contains(':') {
+                renamed = true;
+            }
+            let name = part.rsplit(':').next().unwrap_or(part).trim();
+            binds.push(name.trim_start_matches("ref ").trim_start_matches("mut ").to_string());
+        }
+    }
+    Some((variant.to_string(), binds, renamed))
+}
+
+/// Append every `<recv>.encode(out)` op found on the line.
+fn scan_encode_ops(l: &str, out: &mut Vec<EncOp>) {
+    let needle = ".encode(out)";
+    let mut start = 0;
+    while let Some(rel) = l[start..].find(needle) {
+        let idx = start + rel;
+        out.push(classify_recv(&recv_before(l, idx)));
+        start = idx + needle.len();
+    }
+}
+
+/// Capture the receiver expression ending just before byte `idx`.
+fn recv_before(l: &str, idx: usize) -> String {
+    let mut start = idx;
+    let mut depth = 0i32;
+    for (i, c) in l[..idx].char_indices().rev() {
+        let ok = if depth > 0 {
+            if c == '(' {
+                depth -= 1;
+            } else if c == ')' {
+                depth += 1;
+            }
+            true
+        } else if c == ')' {
+            depth += 1;
+            true
+        } else {
+            c.is_alphanumeric() || c == '_' || c == '.' || c == ':' || c == '$'
+        };
+        if !ok {
+            break;
+        }
+        start = i;
+    }
+    l[start..idx].to_string()
+}
+
+fn classify_recv(r: &str) -> EncOp {
+    if let Some(tag) = parse_int_tag(r) {
+        return tag;
+    }
+    if let Some(rest) = r.strip_prefix("self.") {
+        if is_simple(rest) {
+            return EncOp::Val(rest.to_string());
+        }
+        return EncOp::Opaque(r.to_string());
+    }
+    let r2 = r.strip_suffix(".as_ref()").unwrap_or(r);
+    if is_simple(r2) && r2 != "self" {
+        return EncOp::Val(r2.to_string());
+    }
+    EncOp::Opaque(r.to_string())
+}
+
+/// `"3u8"` -> `Tag { value: 3, width: 8 }`.
+fn parse_int_tag(s: &str) -> Option<EncOp> {
+    let u = s.find('u')?;
+    let value = s[..u].parse::<u64>().ok()?;
+    let width = s[u + 1..].parse::<u8>().ok()?;
+    if matches!(width, 8 | 16 | 32 | 64) {
+        Some(EncOp::Tag { value, width })
+    } else {
+        None
+    }
+}
+
+fn parse_int(s: &str) -> Option<u64> {
+    s.trim().parse().ok()
+}
+
+fn is_simple(s: &str) -> bool {
+    !s.is_empty() && s.chars().all(|c| c.is_alphanumeric() || c == '_')
+}
+
+// ----------------------------------------------------------------------
+// decode-side parsing
+// ----------------------------------------------------------------------
+
+fn parse_decode(body: &[(usize, &str)]) -> DecSide {
+    for (i, (_, l)) in body.iter().enumerate() {
+        if let Some(pos) = find_token(l, "match") {
+            let rest = &l[pos + "match".len()..];
+            if rest.contains("::decode(") {
+                let Some(width) = decode_width(rest) else {
+                    return DecSide::Opaque(format!(
+                        "cannot determine discriminant width from `{}`",
+                        rest.trim()
+                    ));
+                };
+                return parse_decode_match(body, i, width);
+            }
+        }
+    }
+    // Struct codec: a single constructor inside Ok(..).
+    let joined: String =
+        body.iter().map(|(_, l)| *l).collect::<Vec<_>>().join("\n");
+    let Some(ok) = joined.find("Ok(") else {
+        return DecSide::Opaque("no Ok(..) constructor found".to_string());
+    };
+    match parse_ctor(&joined[ok + 3..]) {
+        Some((_, CtorBody::Named(fields))) => DecSide::Struct(fields),
+        Some((_, CtorBody::Tuple(n))) => DecSide::Tuple(n),
+        Some((_, CtorBody::Unit)) | None => {
+            DecSide::Opaque("constructor is not a struct/tuple literal".to_string())
+        }
+    }
+}
+
+/// `" u8::decode(r)? {"` -> `8`.
+fn decode_width(s: &str) -> Option<u8> {
+    for w in [8u8, 16, 32, 64] {
+        if s.contains(&format!("u{w}::decode(")) {
+            return Some(w);
+        }
+    }
+    None
+}
+
+fn parse_decode_match(body: &[(usize, &str)], match_idx: usize, width: u8) -> DecSide {
+    let mut arms: Vec<VariantDec> = Vec::new();
+    let mut rejects_unknown = false;
+    let mut depth = 0i32;
+    // (arm line, tag or None for `_`, accumulated body text)
+    let mut cur: Option<(usize, Option<u64>, String)> = None;
+    let mut opaque: Option<String> = None;
+
+    let finish = |cur: &mut Option<(usize, Option<u64>, String)>,
+                      arms: &mut Vec<VariantDec>,
+                      rejects: &mut bool,
+                      opaque: &mut Option<String>| {
+        let Some((line, tag, text)) = cur.take() else { return };
+        let Some(tag) = tag else {
+            if text.contains("Err(") {
+                *rejects = true;
+            }
+            return;
+        };
+        let Some(ok) = text.find("Ok(") else {
+            if opaque.is_none() {
+                *opaque = Some(format!("decode arm for tag {tag} has no Ok(..)"));
+            }
+            return;
+        };
+        match parse_ctor(&text[ok + 3..]) {
+            Some((variant, CtorBody::Named(fields))) => arms.push(VariantDec {
+                name: variant,
+                line,
+                tag,
+                fields,
+                tuple_arity: None,
+            }),
+            Some((variant, CtorBody::Tuple(n))) => arms.push(VariantDec {
+                name: variant,
+                line,
+                tag,
+                fields: Vec::new(),
+                tuple_arity: Some(n),
+            }),
+            Some((variant, CtorBody::Unit)) => arms.push(VariantDec {
+                name: variant,
+                line,
+                tag,
+                fields: Vec::new(),
+                tuple_arity: None,
+            }),
+            None => {
+                if opaque.is_none() {
+                    *opaque =
+                        Some(format!("unparseable constructor in decode arm for tag {tag}"));
+                }
+            }
+        }
+    };
+
+    for (i, (n, l)) in body.iter().enumerate() {
+        if i < match_idx {
+            continue;
+        }
+        if i > match_idx && depth == 1 {
+            if let Some(arrow) = l.find("=>") {
+                finish(&mut cur, &mut arms, &mut rejects_unknown, &mut opaque);
+                let pat = l[..arrow].trim();
+                let tag = if pat == "_" { None } else { parse_int(pat) };
+                if pat != "_" && tag.is_none() {
+                    return DecSide::Opaque(format!(
+                        "decode arm pattern `{pat}` is not an integer tag"
+                    ));
+                }
+                cur = Some((*n, tag, l[arrow + 2..].to_string()));
+            }
+        } else if i > match_idx && depth >= 2 {
+            if let Some(c) = cur.as_mut() {
+                c.2.push(' ');
+                c.2.push_str(l);
+            }
+        }
+        depth += net_braces(l);
+        if i > match_idx && depth <= 0 {
+            break;
+        }
+    }
+    finish(&mut cur, &mut arms, &mut rejects_unknown, &mut opaque);
+    if let Some(why) = opaque {
+        return DecSide::Opaque(why);
+    }
+    DecSide::Enum { width, arms, rejects_unknown }
+}
+
+enum CtorBody {
+    Named(Vec<DecField>),
+    Tuple(usize),
+    Unit,
+}
+
+/// Parse `Payload::Client { client: ProcId::decode(r)?, .. }` (text
+/// directly after `Ok(`).
+fn parse_ctor(s: &str) -> Option<(String, CtorBody)> {
+    let s = s.trim_start();
+    let head_end = s
+        .char_indices()
+        .take_while(|(_, c)| c.is_alphanumeric() || *c == '_' || *c == ':')
+        .map(|(i, c)| i + c.len_utf8())
+        .last()?;
+    let head = &s[..head_end];
+    let variant = head.rsplit("::").next()?.trim();
+    if variant.is_empty() || !variant.chars().next().is_some_and(char::is_uppercase) {
+        return None;
+    }
+    let rest = s[head_end..].trim_start();
+    if rest.starts_with('{') {
+        let inner = balanced(rest, '{', '}')?;
+        let mut fields = Vec::new();
+        for part in split_top_level(&inner, ',') {
+            let part = part.trim();
+            if part.is_empty() {
+                continue;
+            }
+            let (name, expr) = part.split_once(':')?;
+            fields.push(DecField {
+                name: Some(name.trim().to_string()),
+                ty: ty_head(expr),
+            });
+        }
+        Some((variant.to_string(), CtorBody::Named(fields)))
+    } else if rest.starts_with('(') {
+        let inner = balanced(rest, '(', ')')?;
+        let n = split_top_level(&inner, ',')
+            .into_iter()
+            .filter(|p| !p.trim().is_empty())
+            .count();
+        Some((variant.to_string(), CtorBody::Tuple(n)))
+    } else {
+        Some((variant.to_string(), CtorBody::Unit))
+    }
+}
+
+/// The type a field expression decodes as: `ProcId::decode(r)?` ->
+/// `ProcId`; `Box::new(ReplicaState::decode(r)?)` -> `ReplicaState`;
+/// inferred `Codec::decode(r)?` -> `None`.
+fn ty_head(expr: &str) -> Option<String> {
+    let pos = expr.find("::decode(")?;
+    let head: String = expr[..pos]
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if head.is_empty() || head == "Codec" {
+        None
+    } else {
+        Some(head)
+    }
+}
+
+// ----------------------------------------------------------------------
+// protocol-enum use sites
+// ----------------------------------------------------------------------
+
+fn collect_uses(
+    cfg: &ProtoConfig,
+    facts: &FileFacts,
+    lines: &[String],
+    matrix: &[(String, Vec<String>)],
+    out: &mut Vec<VariantUse>,
+) {
+    for f in &facts.fns {
+        if f.is_test
+            || cfg.ignore_fns.iter().any(|n| n == &f.name)
+            || (f.impl_trait.as_deref() == Some("Codec")
+                && matches!(f.name.as_str(), "encode" | "decode"))
+        {
+            continue;
+        }
+        for (n, l) in span(lines, f.line, f.end_line) {
+            for (enum_name, variants) in matrix {
+                let enum_prefix = format!("{enum_name}::");
+                if !l.contains(&enum_prefix) {
+                    continue;
+                }
+                for v in variants {
+                    let token = format!("{enum_name}::{v}");
+                    let mut start = 0;
+                    while let Some(rel) = l[start..].find(&token) {
+                        let pos = start + rel;
+                        start = pos + token.len();
+                        if !boundary_ok(l, pos, token.len()) {
+                            continue;
+                        }
+                        let kind = classify_use(
+                            &l[..pos],
+                            &l[pos + token.len()..],
+                            facts,
+                            n,
+                            &token,
+                        );
+                        out.push(VariantUse {
+                            enum_name: enum_name.clone(),
+                            variant: v.clone(),
+                            path: facts.path.clone(),
+                            crate_key: facts.crate_key.clone(),
+                            line: n,
+                            kind,
+                            in_fn: f.qualified.clone(),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Token-boundary check: the char before must not be an identifier
+/// char (a path `::` prefix is fine); the char after must not extend
+/// the variant name.
+fn boundary_ok(l: &str, pos: usize, len: usize) -> bool {
+    let before_ok = pos == 0
+        || !l[..pos]
+            .chars()
+            .next_back()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    let after_ok = !l[pos + len..]
+        .chars()
+        .next()
+        .is_some_and(|c| c.is_alphanumeric() || c == '_');
+    before_ok && after_ok
+}
+
+fn classify_use(
+    before: &str,
+    after: &str,
+    facts: &FileFacts,
+    line: usize,
+    token: &str,
+) -> UseKind {
+    // `E::V { .. }` shorthand only exists in patterns.
+    let a = after.trim_start();
+    if a.starts_with("{ ..") || a.starts_with("{..") {
+        return UseKind::Handle;
+    }
+    if before.contains("matches!") {
+        return UseKind::Handle;
+    }
+    // Already past an arm's `=>`: this is arm-body (expression) position.
+    if before.contains("=>") {
+        return UseKind::Construct;
+    }
+    // The `=>` follows on the same line: pattern position.
+    if after.contains("=>") {
+        return UseKind::Handle;
+    }
+    // `if let` / `while let` / `let .. else` destructuring (no `=`
+    // between the `let` and the variant).
+    if let Some(lp) = before.rfind("let ") {
+        if !before[lp..].contains('=') {
+            return UseKind::Handle;
+        }
+    }
+    // Wrapped arm patterns: the flow model joins multi-line patterns.
+    if facts.matches.iter().any(|m| {
+        m.arms
+            .iter()
+            .any(|arm| arm.pattern.contains(token) && line >= arm.line && line <= arm.line + 2)
+    }) {
+        return UseKind::Handle;
+    }
+    UseKind::Construct
+}
+
+// ----------------------------------------------------------------------
+// text utilities
+// ----------------------------------------------------------------------
+
+/// Position of `word` with identifier boundaries on both sides.
+fn find_token(l: &str, word: &str) -> Option<usize> {
+    let mut start = 0;
+    while let Some(rel) = l[start..].find(word) {
+        let pos = start + rel;
+        if boundary_ok(l, pos, word.len()) {
+            return Some(pos);
+        }
+        start = pos + word.len();
+    }
+    None
+}
+
+fn net_braces(l: &str) -> i32 {
+    let mut n = 0;
+    for c in l.chars() {
+        match c {
+            '{' => n += 1,
+            '}' => n -= 1,
+            _ => {}
+        }
+    }
+    n
+}
+
+/// Contents of the balanced `open..close` region `s` starts with.
+fn balanced(s: &str, open: char, close: char) -> Option<String> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        if c == open {
+            depth += 1;
+        } else if c == close {
+            depth -= 1;
+            if depth == 0 {
+                return Some(s[open.len_utf8()..i].to_string());
+            }
+        }
+    }
+    None
+}
+
+/// Split at `sep` occurrences outside any `(){}[]` nesting.
+fn split_top_level(s: &str, sep: char) -> Vec<String> {
+    let mut parts = Vec::new();
+    let mut depth = 0i32;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '(' | '{' | '[' => depth += 1,
+            ')' | '}' | ']' => depth -= 1,
+            _ => {}
+        }
+        if c == sep && depth == 0 {
+            parts.push(std::mem::take(&mut cur));
+        } else {
+            cur.push(c);
+        }
+    }
+    parts.push(cur);
+    parts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rules::ProtoConfig;
+    use jrs_flow::parse::extract;
+
+    fn model_of(files: &[(&str, &str)]) -> ProtoModel {
+        let flow = Model {
+            files: files.iter().map(|(p, t)| extract(p, t)).collect(),
+        };
+        build(&ProtoConfig::workspace(), flow)
+    }
+
+    const STRUCT_CODEC: &str = "\
+impl Codec for Grant {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mom.encode(out);
+        self.session.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Grant {
+            mom: ProcId::decode(r)?,
+            session: u64::decode(r)?,
+        })
+    }
+}
+";
+
+    #[test]
+    fn struct_codec_shapes() {
+        let m = model_of(&[("crates/core/src/a.rs", STRUCT_CODEC)]);
+        let c = m.codec("Grant").expect("codec found");
+        match &c.enc {
+            EncSide::Struct(ops) => {
+                assert_eq!(
+                    ops,
+                    &vec![EncOp::Val("mom".into()), EncOp::Val("session".into())]
+                );
+            }
+            other => panic!("expected struct enc, got {other:?}"),
+        }
+        match &c.dec {
+            DecSide::Struct(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_eq!(fields[0].name.as_deref(), Some("mom"));
+                assert_eq!(fields[0].ty.as_deref(), Some("ProcId"));
+                assert_eq!(fields[1].ty.as_deref(), Some("u64"));
+            }
+            other => panic!("expected struct dec, got {other:?}"),
+        }
+    }
+
+    const ENUM_CODEC: &str = "\
+impl Codec for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Ping { seq } => {
+                0u8.encode(out);
+                seq.encode(out);
+            }
+            Msg::Pong(id) => {
+                1u8.encode(out);
+                id.encode(out);
+            }
+            Msg::Bye => {
+                2u8.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Msg::Ping { seq: u64::decode(r)? }),
+            1 => Ok(Msg::Pong(JobId::decode(r)?)),
+            2 => Ok(Msg::Bye),
+            _ => Err(DecodeError::Invalid(\"Msg tag\")),
+        }
+    }
+}
+";
+
+    #[test]
+    fn enum_codec_shapes() {
+        let m = model_of(&[("crates/core/src/a.rs", ENUM_CODEC)]);
+        let c = m.codec("Msg").expect("codec found");
+        let EncSide::Enum { width, variants } = &c.enc else {
+            panic!("expected enum enc, got {:?}", c.enc);
+        };
+        assert_eq!(*width, Some(8));
+        assert_eq!(variants.len(), 3);
+        assert_eq!(variants[0].name, "Ping");
+        assert_eq!(variants[0].tag, Some(0));
+        assert_eq!(variants[0].ops, vec![EncOp::Val("seq".into())]);
+        assert_eq!(variants[2].name, "Bye");
+        assert_eq!(variants[2].tag, Some(2));
+        assert!(variants[2].ops.is_empty());
+
+        let DecSide::Enum { width, arms, rejects_unknown } = &c.dec else {
+            panic!("expected enum dec, got {:?}", c.dec);
+        };
+        assert_eq!(*width, 8);
+        assert!(*rejects_unknown);
+        assert_eq!(arms.len(), 3);
+        assert_eq!(arms[0].name, "Ping");
+        assert_eq!(arms[0].tag, 0);
+        assert_eq!(arms[0].fields[0].name.as_deref(), Some("seq"));
+        assert_eq!(arms[1].tuple_arity, Some(1));
+        assert_eq!(arms[2].name, "Bye");
+    }
+
+    const TAG_TABLE: &str = "\
+impl Codec for JobState {
+    fn encode(&self, out: &mut Vec<u8>) {
+        let tag: u8 = match self {
+            JobState::Queued => 0,
+            JobState::Running => 1,
+        };
+        tag.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(JobState::Queued),
+            1 => Ok(JobState::Running),
+            _ => Err(DecodeError::Invalid(\"JobState tag\")),
+        }
+    }
+}
+";
+
+    #[test]
+    fn tag_table_codec_shapes() {
+        let m = model_of(&[("crates/pbs/src/a.rs", TAG_TABLE)]);
+        let c = m.codec("JobState").expect("codec found");
+        let EncSide::Enum { width, variants } = &c.enc else {
+            panic!("expected enum enc, got {:?}", c.enc);
+        };
+        assert_eq!(*width, Some(8));
+        assert_eq!(variants.len(), 2);
+        assert_eq!(variants[0].tag, Some(0));
+        assert_eq!(variants[1].tag, Some(1));
+        assert!(variants[1].ops.is_empty());
+    }
+
+    #[test]
+    fn boxed_and_as_ref_fields_resolve() {
+        let src = "\
+impl Codec for Snap {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Snap::Full { targets, state } => {
+                0u8.encode(out);
+                targets.encode(out);
+                state.as_ref().encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Snap::Full {
+                targets: Codec::decode(r)?,
+                state: Box::new(ReplicaState::decode(r)?),
+            }),
+            _ => Err(DecodeError::Invalid(\"Snap tag\")),
+        }
+    }
+}
+";
+        let m = model_of(&[("crates/core/src/a.rs", src)]);
+        let c = m.codec("Snap").expect("codec found");
+        let EncSide::Enum { variants, .. } = &c.enc else { panic!() };
+        assert_eq!(
+            variants[0].ops,
+            vec![EncOp::Val("targets".into()), EncOp::Val("state".into())]
+        );
+        let DecSide::Enum { arms, .. } = &c.dec else { panic!() };
+        assert_eq!(arms[0].fields[1].name.as_deref(), Some("state"));
+        assert_eq!(arms[0].fields[1].ty.as_deref(), Some("ReplicaState"));
+    }
+
+    #[test]
+    fn use_sites_classify_construct_and_handle() {
+        let src = "\
+pub enum Payload {
+    Client { client: u32 },
+    Output { client: u32 },
+}
+fn send(x: u32) -> Payload {
+    Payload::Client { client: x }
+}
+fn apply(p: &Payload) {
+    match p {
+        Payload::Client { client } => helper(*client),
+        Payload::Output { .. } => {}
+    }
+}
+";
+        let m = model_of(&[("crates/core/src/a.rs", src)]);
+        let c: Vec<_> = m
+            .uses
+            .iter()
+            .filter(|u| u.kind == UseKind::Construct)
+            .map(|u| u.variant.as_str())
+            .collect();
+        assert_eq!(c, vec!["Client"]);
+        let h: Vec<_> = m
+            .uses
+            .iter()
+            .filter(|u| u.kind == UseKind::Handle)
+            .map(|u| u.variant.as_str())
+            .collect();
+        assert_eq!(h, vec!["Client", "Output"]);
+    }
+}

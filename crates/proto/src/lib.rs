@@ -1,0 +1,157 @@
+//! `jrs-proto` — wire-protocol & codec conformance static analysis for
+//! the JOSHUA workspace.
+//!
+//! JOSHUA replicas agree because every head decodes exactly the bytes
+//! its peers encode: the WAL a head replays at recovery, the snapshots
+//! it installs, and the `Payload` stream the total-order engine
+//! delivers are all hand-rolled `Codec` impls. detlint checks
+//! determinism lexically, jrs-flow checks state-mutation dataflow, and
+//! jrs-mc checks interleavings dynamically — but none of them see the
+//! *protocol*: a swapped field pair, a renumbered discriminant, or a
+//! sent-but-unhandled message ships silently and corrupts recovery or
+//! wedges a replica. This crate closes that gap with a fourth
+//! zero-dependency static pass built on jrs-flow's extraction:
+//!
+//! * **W001** — codec symmetry: `encode` and `decode` must read/write
+//!   the same fields in the same order (field-level diff witnesses);
+//!   enum codecs tag-first with unknown-tag rejection.
+//! * **W002** — tag stability: discriminants unique, dense, and pinned
+//!   against the committed [`proto.lock`](lock) manifest; drift is a
+//!   hard error.
+//! * **W003** — send/handle matrix: every protocol-enum variant that
+//!   is constructed must be handled in its receiving role's crates;
+//!   never-constructed variants are dead protocol surface.
+//! * **W004** — decode-side bounds: decoded lengths must pass a
+//!   checked limit helper before sizing any allocation.
+//! * **WSUP** — suppressions (`// proto: allow(W00x): reason`) must
+//!   name real rules, carry reasons, and suppress something.
+//!
+//! Run it three ways:
+//!
+//! * `cargo run -p jrs-proto -- check [--json]` — CI/CLI entry;
+//! * the root crate's `tests/proto_gate.rs` — `cargo test` enforces it;
+//! * [`check_workspace`] / [`check_files`] — library API for both.
+//!
+//! ## Scope and limitations
+//!
+//! Like its siblings this is a brace/token state machine tuned to
+//! rustfmt-shaped code, not a parser. A codec the scanner cannot
+//! classify does not pass silently — it becomes a W001 opaque finding
+//! that must be restructured or explicitly allowlisted with an audited
+//! reason ([`rules::ProtoConfig::opaque_allow`]), and the allowlist
+//! itself is audited for staleness (WSUP). Generic container codecs in
+//! the foundation layer are exempt from the structural mirror (their
+//! symmetry is pinned by unit tests and the round-trip property tests)
+//! but still subject to W004's bounds discipline.
+
+pub mod extract;
+pub mod lock;
+pub mod model;
+pub mod report;
+pub mod rules;
+
+pub use report::{Finding, Report};
+pub use rules::ProtoConfig;
+
+use jrs_flow::model::Model;
+use model::ProtoModel;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+pub use jrs_flow::find_workspace_root;
+
+/// Build the protocol model from in-memory files
+/// (`(workspace-relative path, source text)`).
+pub fn model_for_files(cfg: &ProtoConfig, files: &[(&str, &str)]) -> ProtoModel {
+    let flow = Model {
+        files: files.iter().map(|(p, t)| jrs_flow::parse::extract(p, t)).collect(),
+    };
+    extract::build(cfg, flow)
+}
+
+/// Analyse a set of in-memory files (the unit fixture tests drive).
+/// `lock` is the committed `proto.lock` text, if any.
+pub fn check_files(cfg: &ProtoConfig, files: &[(&str, &str)], lock: Option<&str>) -> Report {
+    let model = model_for_files(cfg, files);
+    report_for(cfg, &model, lock)
+}
+
+/// Build the protocol model for the workspace rooted at `root`
+/// (every `crates/*/src/**/*.rs` plus the umbrella crate's `src/`).
+pub fn workspace_model(cfg: &ProtoConfig, root: &Path) -> io::Result<ProtoModel> {
+    let mut rel_files = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in fs::read_dir(&crates_dir)? {
+            let src = entry?.path().join("src");
+            if src.is_dir() {
+                collect_rs(root, &src, &mut rel_files)?;
+            }
+        }
+    }
+    let umbrella = root.join("src");
+    if umbrella.is_dir() {
+        collect_rs(root, &umbrella, &mut rel_files)?;
+    }
+    rel_files.sort();
+
+    let mut flow = Model::default();
+    for rel in &rel_files {
+        let text = fs::read_to_string(root.join(rel))?;
+        let rel_str = rel
+            .to_str()
+            .map(|s| s.replace('\\', "/"))
+            .unwrap_or_else(|| rel.to_string_lossy().into_owned());
+        flow.files.push(jrs_flow::parse::extract(&rel_str, &text));
+    }
+    Ok(extract::build(cfg, flow))
+}
+
+/// Analyse the workspace rooted at `root`, reading `root/proto.lock`
+/// when present.
+pub fn check_workspace(cfg: &ProtoConfig, root: &Path) -> io::Result<Report> {
+    let model = workspace_model(cfg, root)?;
+    let lock = fs::read_to_string(root.join("proto.lock")).ok();
+    Ok(report_for(cfg, &model, lock.as_deref()))
+}
+
+/// Render the current schema as `proto.lock` text for the workspace
+/// rooted at `root`.
+pub fn generate_lock(cfg: &ProtoConfig, root: &Path) -> io::Result<String> {
+    let model = workspace_model(cfg, root)?;
+    Ok(lock::Schema::from_model(cfg, &model).render())
+}
+
+fn report_for(cfg: &ProtoConfig, model: &ProtoModel, lock: Option<&str>) -> Report {
+    let findings = rules::run(cfg, model, lock);
+    Report {
+        findings,
+        files_scanned: model.flow.files.len(),
+        codecs: model.codecs.len(),
+        use_sites: model.uses.len(),
+    }
+}
+
+fn collect_rs(
+    root: &Path,
+    dir: &Path,
+    out: &mut Vec<std::path::PathBuf>,
+) -> io::Result<()> {
+    for entry in fs::read_dir(dir)? {
+        let entry = entry?;
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if name == "target" || name.starts_with('.') {
+                continue;
+            }
+            collect_rs(root, &path, out)?;
+        } else if name.ends_with(".rs") {
+            let rel = path.strip_prefix(root).unwrap_or(&path);
+            out.push(rel.to_path_buf());
+        }
+    }
+    Ok(())
+}

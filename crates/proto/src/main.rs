@@ -1,0 +1,203 @@
+//! CLI for the protocol-conformance analysis:
+//! `cargo run -p jrs-proto -- check`.
+
+use jrs_proto::ProtoConfig;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "jrs-proto — wire-protocol & codec conformance analysis for the JOSHUA workspace
+
+USAGE:
+    jrs-proto check [--root <dir>] [--json]   analyse the workspace; exit 1 on findings
+    jrs-proto lock [--root <dir>]             print the current schema as proto.lock text
+    jrs-proto matrix [--root <dir>]           dump per-variant construct/handle sites
+    jrs-proto rules                           print the rule set and the audited registry
+
+Waive a finding inline with `// proto: allow(W001): <reason>` on the offending
+line or the line above it. Reasons are mandatory; stale pragmas are themselves
+findings (WSUP)."
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("check") => check(&args[1..]),
+        Some("lock") => lock(&args[1..]),
+        Some("matrix") => matrix(&args[1..]),
+        Some("rules") => {
+            print_rules();
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+/// Parse `[--root <dir>] [--json]`; `None` on bad args.
+fn parse_opts(args: &[String], allow_json: bool) -> Option<(PathBuf, bool)> {
+    let mut root: Option<PathBuf> = None;
+    let mut json = false;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => root = Some(PathBuf::from(it.next()?)),
+            "--json" if allow_json => json = true,
+            _ => return None,
+        }
+    }
+    let root = match root {
+        Some(r) => r,
+        None => {
+            let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+            match jrs_proto::find_workspace_root(&cwd) {
+                Some(r) => r,
+                None => {
+                    eprintln!(
+                        "jrs-proto: no workspace root found above {} (pass --root)",
+                        cwd.display()
+                    );
+                    return None;
+                }
+            }
+        }
+    };
+    Some((root, json))
+}
+
+fn check(args: &[String]) -> ExitCode {
+    let Some((root, json)) = parse_opts(args, true) else { return usage() };
+    let cfg = ProtoConfig::workspace();
+    match jrs_proto::check_workspace(&cfg, &root) {
+        Ok(report) => {
+            if json {
+                println!("{}", report.to_json());
+                return if report.clean() { ExitCode::SUCCESS } else { ExitCode::FAILURE };
+            }
+            for f in &report.findings {
+                println!("{f}");
+            }
+            if report.clean() {
+                println!(
+                    "proto: OK — {} files, {} codecs, {} use sites, 0 findings",
+                    report.files_scanned, report.codecs, report.use_sites
+                );
+                ExitCode::SUCCESS
+            } else {
+                println!(
+                    "proto: FAILED — {} finding(s) across {} files ({} codecs, {} use \
+                     sites; run `cargo run -p jrs-proto -- rules` for rationale)",
+                    report.findings.len(),
+                    report.files_scanned,
+                    report.codecs,
+                    report.use_sites
+                );
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("jrs-proto: I/O error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn lock(args: &[String]) -> ExitCode {
+    let Some((root, _)) = parse_opts(args, false) else { return usage() };
+    let cfg = ProtoConfig::workspace();
+    match jrs_proto::generate_lock(&cfg, &root) {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("jrs-proto: I/O error walking {}: {e}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}
+
+/// Dump every registered protocol-enum variant's construct/handle
+/// sites, grouped by crate — the evidence base for calibrating the
+/// W003 handler registry.
+fn matrix(args: &[String]) -> ExitCode {
+    let Some((root, _)) = parse_opts(args, false) else { return usage() };
+    let cfg = ProtoConfig::workspace();
+    let model = match jrs_proto::workspace_model(&cfg, &root) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("jrs-proto: I/O error walking {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    for m in &cfg.matrix {
+        println!("== {} (handlers expected in: {}) ==", m.name, m.handler_crates.join(", "));
+        let Some(def) = model.flow.enum_def(&m.name) else {
+            println!("  (no enum definition found)");
+            continue;
+        };
+        for variant in &def.variants {
+            println!("  {}::{variant}", m.name);
+            for u in model
+                .uses
+                .iter()
+                .filter(|u| u.enum_name == m.name && &u.variant == variant)
+            {
+                println!(
+                    "    {:9} [{}] in {} ({}:{})",
+                    format!("{:?}", u.kind),
+                    u.crate_key,
+                    u.in_fn,
+                    u.path,
+                    u.line
+                );
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+fn print_rules() {
+    println!("jrs-proto rule set (wire-protocol & codec conformance)\n");
+    println!(
+        "W001  codec symmetry: encode and decode read/write the same fields in\n      \
+         the same order (field-level diff witness on divergence); enum codecs\n      \
+         write/read the discriminant first and reject unknown tags\n"
+    );
+    println!(
+        "W002  tag stability: enum discriminants unique and dense, and the whole\n      \
+         schema pinned against the committed proto.lock manifest — drift vs\n      \
+         on-disk WAL/snapshot data is a hard error\n"
+    );
+    println!(
+        "W003  send/handle matrix: every constructed protocol-enum variant is\n      \
+         handled in its receiving role's crates; never-constructed variants\n      \
+         are dead protocol surface\n"
+    );
+    println!(
+        "W004  decode-side bounds: decoded lengths pass a checked limit helper\n      \
+         before sizing any allocation; the helpers themselves must enforce an\n      \
+         explicit maximum and a remaining-bytes bound\n"
+    );
+    println!(
+        "WSUP  suppressions must name a known rule, carry a reason, and be\n      \
+         load-bearing; the opaque-codec allowlist is audited for staleness\n"
+    );
+    let cfg = ProtoConfig::workspace();
+    println!("foundation codec layer (exempt from the structural mirror):");
+    for p in &cfg.foundation_paths {
+        println!("  {p}");
+    }
+    println!("\naudited opaque codecs:");
+    for (t, why) in &cfg.opaque_allow {
+        println!("  {t} — {why}");
+    }
+    println!("\nsend/handle matrix:");
+    for m in &cfg.matrix {
+        println!("  {} -> [{}] — {}", m.name, m.handler_crates.join(", "), m.why);
+    }
+    println!("\nchecked length helpers: {}", cfg.len_helpers.join(", "));
+    println!("ignored fns (size estimators): {}", cfg.ignore_fns.join(", "));
+}

@@ -1,0 +1,192 @@
+//! The protocol model jrs-proto extracts from the workspace: every
+//! `impl Codec` parsed into ordered encode/decode shapes, and every
+//! registered protocol-enum variant occurrence classified as a
+//! construct (send) or handle (match/destructure) site.
+//!
+//! Built by [`crate::extract::build`] on top of jrs-flow's file facts
+//! (function spans, enum definitions, `match` sites) and consumed by
+//! [`crate::rules`] (the W-rules) and [`crate::lock`] (the pinned
+//! schema manifest).
+
+use jrs_detlint::scanner::Pragma;
+use jrs_flow::model::Model;
+
+/// One recognized operation in an `encode` body, in source order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum EncOp {
+    /// An integer-literal discriminant write (`3u8.encode(out)`) or a
+    /// tag-table entry (`let tag: u8 = match self { V => 3, .. }`).
+    Tag {
+        /// Discriminant value.
+        value: u64,
+        /// Primitive width in bits (8/16/32/64).
+        width: u8,
+    },
+    /// A named value write: `self.field.encode(out)`, a bound pattern
+    /// name inside a match arm (`session.encode(out)`), or a tuple
+    /// index (`self.0` yields `"0"`).
+    Val(String),
+    /// Anything the scanner cannot classify (method-call chains etc) —
+    /// forces the codec into the audited opaque allowlist.
+    Opaque(String),
+}
+
+/// One decoded field on the `decode` side.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct DecField {
+    /// Field name for struct / struct-variant literals; `None` for
+    /// positional (tuple) decodes.
+    pub name: Option<String>,
+    /// Head of the type the value is decoded as (`u64`, `ProcId`,
+    /// `ReplicaState` …) when written explicitly; `None` for inferred
+    /// `Codec::decode` calls.
+    pub ty: Option<String>,
+}
+
+/// One variant's encode arm.
+#[derive(Clone, Debug)]
+pub struct VariantEnc {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line of the arm pattern.
+    pub line: usize,
+    /// Discriminant written first (or the tag-table value); `None`
+    /// when the arm writes fields before any tag — a W001 violation.
+    pub tag: Option<u64>,
+    /// Width of the discriminant write, when present.
+    pub tag_width: Option<u8>,
+    /// Field writes after the tag.
+    pub ops: Vec<EncOp>,
+}
+
+/// One variant's decode arm.
+#[derive(Clone, Debug)]
+pub struct VariantDec {
+    /// Variant name.
+    pub name: String,
+    /// 1-based line of the arm.
+    pub line: usize,
+    /// Discriminant matched.
+    pub tag: u64,
+    /// Named fields (struct variants), decode order; empty for unit
+    /// and tuple variants.
+    pub fields: Vec<DecField>,
+    /// Positional arity for tuple variants.
+    pub tuple_arity: Option<usize>,
+}
+
+/// Parsed shape of an `encode` body.
+#[derive(Clone, Debug)]
+pub enum EncSide {
+    /// Plain op sequence (struct / tuple-struct codec).
+    Struct(Vec<EncOp>),
+    /// `match self { .. }` over the enum's variants.
+    Enum {
+        /// Discriminant width, when determinable.
+        width: Option<u8>,
+        /// Arms in source order.
+        variants: Vec<VariantEnc>,
+    },
+    /// Unparseable — needs an audited allowlist entry.
+    Opaque(String),
+}
+
+/// Parsed shape of a `decode` body.
+#[derive(Clone, Debug)]
+pub enum DecSide {
+    /// Named-field struct literal, in decode order.
+    Struct(Vec<DecField>),
+    /// Positional construction `Ok(T(..))` — arity only.
+    Tuple(usize),
+    /// `match uN::decode(r)? { .. }`.
+    Enum {
+        /// Discriminant width read.
+        width: u8,
+        /// Tag arms in source order.
+        arms: Vec<VariantDec>,
+        /// Has a `_ => Err(..)` arm rejecting unknown tags.
+        rejects_unknown: bool,
+    },
+    /// Unparseable — needs an audited allowlist entry.
+    Opaque(String),
+}
+
+/// One `impl Codec for T` pair (encode + decode).
+#[derive(Clone, Debug)]
+pub struct CodecImpl {
+    /// The implementing type.
+    pub type_name: String,
+    /// Workspace-relative file.
+    pub path: String,
+    /// 1-based line of `fn encode`.
+    pub enc_line: usize,
+    /// 1-based line of `fn decode`.
+    pub dec_line: usize,
+    /// Parsed encode side.
+    pub enc: EncSide,
+    /// Parsed decode side.
+    pub dec: DecSide,
+}
+
+/// How a protocol-enum variant occurrence is used.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum UseKind {
+    /// Pattern position — match arm, `if let`, `let .. else`,
+    /// `matches!`: the variant is consumed here.
+    Handle,
+    /// Expression position: the variant is constructed (sent) here.
+    Construct,
+}
+
+/// One protocol-enum variant occurrence outside its codec.
+#[derive(Clone, Debug)]
+pub struct VariantUse {
+    /// The enum.
+    pub enum_name: String,
+    /// The variant.
+    pub variant: String,
+    /// Workspace-relative file.
+    pub path: String,
+    /// Crate key of the file.
+    pub crate_key: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Construct or handle.
+    pub kind: UseKind,
+    /// Qualified name of the enclosing function (diagnostics).
+    pub in_fn: String,
+}
+
+/// Per-file scan artifacts: the comment/string-blanked lines (W004
+/// scans them for allocation sinks) and the file's proto pragmas
+/// (`// proto: allow(W00x): reason`).
+#[derive(Clone, Debug)]
+pub struct FileScan {
+    /// Workspace-relative file.
+    pub path: String,
+    /// Clean (blanked) source lines, 1-based via index + 1.
+    pub lines: Vec<String>,
+    /// Pragmas in line order.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// The whole-workspace protocol model.
+#[derive(Debug)]
+pub struct ProtoModel {
+    /// The underlying jrs-flow model (enum/struct definitions, fn
+    /// spans, raw text — used for type cross-checks and W004).
+    pub flow: Model,
+    /// Every parsed `impl Codec`.
+    pub codecs: Vec<CodecImpl>,
+    /// Every registered protocol-enum variant occurrence.
+    pub uses: Vec<VariantUse>,
+    /// Per-file clean lines and proto pragmas.
+    pub scans: Vec<FileScan>,
+}
+
+impl ProtoModel {
+    /// The codec for `type_name`, if any.
+    pub fn codec(&self, type_name: &str) -> Option<&CodecImpl> {
+        self.codecs.iter().find(|c| c.type_name == type_name)
+    }
+}

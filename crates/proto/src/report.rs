@@ -1,0 +1,133 @@
+//! Findings with field-level diff witnesses, the whole-run report, and
+//! rendering (human text and the `--json` form CI archives).
+
+use std::fmt;
+
+/// One rule finding.
+#[derive(Clone, Debug)]
+pub struct Finding {
+    /// Rule code (`W001`..`W004`, `WSUP`).
+    pub rule: &'static str,
+    /// Workspace-relative file the finding anchors to.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// One-sentence description of the conformance violation.
+    pub message: String,
+    /// Field-level diff witness lines (encode/decode sequences with the
+    /// first divergence called out), empty when not applicable.
+    pub witness: Vec<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}: {}:{}", self.rule, self.path, self.line)?;
+        writeln!(f, "  {}", self.message)?;
+        if !self.witness.is_empty() {
+            writeln!(f, "  witness:")?;
+            for w in &self.witness {
+                writeln!(f, "    {w}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a whole-workspace conformance run.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// All findings, in path/line/rule order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+    /// Number of `impl Codec` pairs parsed.
+    pub codecs: usize,
+    /// Number of protocol-enum variant use sites classified.
+    pub use_sites: usize,
+}
+
+impl Report {
+    /// Did the workspace pass?
+    pub fn clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render as a JSON object (hand-rolled: the analysis is
+    /// zero-dependency by design, like its siblings).
+    pub fn to_json(&self) -> String {
+        let mut s = String::from("{");
+        s.push_str(&format!(
+            "\"files_scanned\":{},\"codecs\":{},\"use_sites\":{},\"findings\":[",
+            self.files_scanned, self.codecs, self.use_sites
+        ));
+        for (i, f) in self.findings.iter().enumerate() {
+            if i > 0 {
+                s.push(',');
+            }
+            s.push_str(&format!(
+                "{{\"rule\":{},\"path\":{},\"line\":{},\"message\":{},\"witness\":[",
+                json_str(f.rule),
+                json_str(&f.path),
+                f.line,
+                json_str(&f.message)
+            ));
+            for (j, w) in f.witness.iter().enumerate() {
+                if j > 0 {
+                    s.push(',');
+                }
+                s.push_str(&json_str(w));
+            }
+            s.push_str("]}");
+        }
+        s.push_str("]}");
+        s
+    }
+}
+
+/// Escape a string as a JSON string literal.
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_and_shapes() {
+        let r = Report {
+            findings: vec![Finding {
+                rule: "W001",
+                path: "crates/x/src/a.rs".into(),
+                line: 7,
+                message: "encode/decode field order diverges".into(),
+                witness: vec![
+                    "encode writes : [a, b]".into(),
+                    "decode reads  : [b, a]".into(),
+                ],
+            }],
+            files_scanned: 1,
+            codecs: 1,
+            use_sites: 0,
+        };
+        let j = r.to_json();
+        assert!(j.starts_with('{') && j.ends_with('}'));
+        assert!(j.contains("\"rule\":\"W001\""));
+        assert!(j.contains("\"codecs\":1"));
+        assert!(j.contains("encode writes : [a, b]"));
+    }
+}

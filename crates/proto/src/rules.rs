@@ -1,0 +1,1435 @@
+//! The protocol-conformance rules (W001–W004) plus the suppression
+//! audit (WSUP), and the configuration registry naming the workspace's
+//! foundation codecs, audited opaque codecs, protocol-enum matrix, and
+//! checked length helpers.
+//!
+//! * **W001** — codec symmetry: for every `impl Codec`, the ordered
+//!   field writes in `encode` must mirror the field reads in `decode`
+//!   (same names, same order, compatible primitive types), and enum
+//!   codecs must write/read the discriminant before any field and
+//!   reject unknown tags. Violations carry a field-level diff witness.
+//! * **W002** — tag stability: enum discriminants must be unique and
+//!   dense, and every codec's schema must match the committed
+//!   `proto.lock` manifest — schema drift vs. on-disk WAL/snapshot
+//!   data is a hard error, not a runtime quarantine.
+//! * **W003** — send/handle matrix: every protocol-enum variant
+//!   constructed (sent) somewhere must be matched by a handler arm in
+//!   its receiving role's crates; never-constructed variants are dead
+//!   protocol surface.
+//! * **W004** — decode-side bounds: a decoded length may size an
+//!   allocation only after passing a checked limit helper, and the
+//!   helpers themselves must enforce an explicit maximum.
+//! * **WSUP** — every `// proto: allow(..)` pragma must name a known
+//!   rule, carry a reason, and suppress something; stale opaque-codec
+//!   allowlist entries are flagged too.
+
+use crate::lock::Schema;
+use crate::model::{CodecImpl, DecField, DecSide, EncOp, EncSide, ProtoModel, UseKind};
+use crate::report::Finding;
+use jrs_detlint::scanner::Pragma;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Rule codes jrs-proto can emit (and that pragmas may name).
+pub const RULE_CODES: &[&str] = &["W001", "W002", "W003", "W004", "WSUP"];
+
+/// One protocol enum in the send/handle matrix.
+#[derive(Clone, Debug)]
+pub struct MatrixEnum {
+    /// Enum name.
+    pub name: String,
+    /// Crates acting as the receiving role: every constructed variant
+    /// must be matched by a handler arm in one of these.
+    pub handler_crates: Vec<String>,
+    /// Why this enum is registered (shown by `rules`).
+    pub why: String,
+}
+
+/// Analysis configuration: the registry the rules run against.
+/// [`ProtoConfig::workspace`] is the audited production registry;
+/// fixtures construct their own.
+#[derive(Clone, Debug)]
+pub struct ProtoConfig {
+    /// Files whose `impl Codec` blocks form the foundation layer
+    /// (generic containers, primitives). They are exempt from W001's
+    /// structural mirror — their symmetry is pinned by their own unit
+    /// tests and the round-trip property tests — and are not pinned in
+    /// `proto.lock` (no per-type field list).
+    pub foundation_paths: Vec<String>,
+    /// Codec types whose encode/decode are legitimately not
+    /// structurally mirrorable, with audited reasons. Entries must be
+    /// load-bearing: a stale entry is a WSUP finding.
+    pub opaque_allow: Vec<(String, String)>,
+    /// The send/handle matrix (W003).
+    pub matrix: Vec<MatrixEnum>,
+    /// Function names never counted as construct/handle sites (wire
+    /// size estimators and similar metadata matches).
+    pub ignore_fns: Vec<String>,
+    /// Checked length-limit helpers (W004): a decoded length must pass
+    /// through one of these before sizing an allocation.
+    pub len_helpers: Vec<String>,
+    /// Tokens marking an explicit maximum bound inside a helper.
+    pub limit_tokens: Vec<String>,
+    /// Qualified raw-sink primitives (`Type::method`) exempt from W004
+    /// (the bounds-checked cursor primitive itself).
+    pub sink_primitives: Vec<String>,
+}
+
+impl ProtoConfig {
+    /// The audited registry for this workspace.
+    pub fn workspace() -> Self {
+        let s = |v: &[&str]| v.iter().map(|s| s.to_string()).collect::<Vec<_>>();
+        let m = |name: &str, crates: &[&str], why: &str| MatrixEnum {
+            name: name.into(),
+            handler_crates: s(crates),
+            why: why.into(),
+        };
+        ProtoConfig {
+            foundation_paths: s(&["crates/store/src/codec.rs"]),
+            opaque_allow: vec![(
+                "NodePool".into(),
+                "encode flattens the pool to its ordered node list and decode \
+                 rebuilds the index; symmetry is pinned by round-trip tests"
+                    .into(),
+            )],
+            // CmdReply is deliberately unregistered: its receiving role
+            // is the submitting client, which lives in the test/driver
+            // harness rather than a shipping crate, so a send/handle
+            // obligation inside `crates/*` would be vacuous (its codec
+            // symmetry and tags are still checked by W001/W002).
+            matrix: vec![
+                m(
+                    "Wire",
+                    &["gcs"],
+                    "the sequenced transport frame between group members",
+                ),
+                m(
+                    "GcsMsg",
+                    &["gcs"],
+                    "ring coordination: join/heartbeat/flush/install",
+                ),
+                m(
+                    "EngineMsg",
+                    &["gcs"],
+                    "total-order engine traffic carried inside the ring",
+                ),
+                m(
+                    "Payload",
+                    &["core"],
+                    "the replicated command stream every head applies",
+                ),
+                m(
+                    "ServerCmd",
+                    &["pbs"],
+                    "intercepted PBS user commands applied by the server core",
+                ),
+                m(
+                    "MomInbound",
+                    &["pbs"],
+                    "head-to-mom dispatch: launches, verdicts, cancels",
+                ),
+                m(
+                    "MomReport",
+                    &["core", "pbs"],
+                    "mom-to-head obituaries lifted into the total order",
+                ),
+            ],
+            ignore_fns: s(&["wire_size"]),
+            len_helpers: s(&["decode_len"]),
+            limit_tokens: s(&["MAX_"]),
+            sink_primitives: s(&["Reader::take"]),
+        }
+    }
+
+    /// Is this file part of the audited foundation layer?
+    pub fn is_foundation(&self, path: &str) -> bool {
+        self.foundation_paths.iter().any(|p| p == path)
+    }
+}
+
+/// Run every rule; returns findings sorted by path/line/rule.
+pub fn run(cfg: &ProtoConfig, model: &ProtoModel, lock: Option<&str>) -> Vec<Finding> {
+    let mut cands: Vec<Finding> = Vec::new();
+    check_w001(cfg, model, &mut cands);
+    check_w002(cfg, model, lock, &mut cands);
+    check_w003(cfg, model, &mut cands);
+    check_w004(cfg, model, &mut cands);
+
+    // Central suppression: a finding is waived by a
+    // `// proto: allow(RULE): reason` pragma on its line or the line
+    // above; used pragmas are tracked so WSUP can flag dead ones.
+    let mut used: BTreeSet<(String, usize)> = BTreeSet::new();
+    let mut findings: Vec<Finding> = Vec::new();
+    for f in cands {
+        match pragma_for(model, &f.path, f.rule, f.line) {
+            Some(p) => {
+                used.insert((f.path.clone(), p.line));
+            }
+            None => findings.push(f),
+        }
+    }
+
+    check_wsup(cfg, model, &used, &mut findings);
+
+    findings.sort_by(|a, b| (&a.path, a.line, a.rule).cmp(&(&b.path, b.line, b.rule)));
+    findings
+}
+
+/// The proto pragma (if any) waiving `rule` at `path:line`.
+fn pragma_for<'m>(
+    model: &'m ProtoModel,
+    path: &str,
+    rule: &str,
+    line: usize,
+) -> Option<&'m Pragma> {
+    let scan = model.scans.iter().find(|s| s.path == path)?;
+    scan.pragmas.iter().find(|p| {
+        (p.line == line || p.line + 1 == line) && p.rules.iter().any(|r| r == rule)
+    })
+}
+
+fn finding(
+    rule: &'static str,
+    path: &str,
+    line: usize,
+    message: String,
+    witness: Vec<String>,
+) -> Finding {
+    Finding { rule, path: path.to_string(), line, message, witness }
+}
+
+// ----------------------------------------------------------------------
+// W001 — codec symmetry
+// ----------------------------------------------------------------------
+
+/// Codecs subject to structural checking.
+fn checked_codecs<'m>(
+    cfg: &'m ProtoConfig,
+    model: &'m ProtoModel,
+) -> impl Iterator<Item = &'m CodecImpl> {
+    model.codecs.iter().filter(move |c| {
+        !cfg.is_foundation(&c.path)
+            && !c.type_name.contains('$')
+            && !cfg.opaque_allow.iter().any(|(t, _)| t == &c.type_name)
+    })
+}
+
+fn check_w001(cfg: &ProtoConfig, model: &ProtoModel, out: &mut Vec<Finding>) {
+    for c in checked_codecs(cfg, model) {
+        match (&c.enc, &c.dec) {
+            (EncSide::Opaque(why), _) => out.push(finding(
+                "W001",
+                &c.path,
+                c.enc_line,
+                format!(
+                    "`{}` encode is not structurally checkable ({why}) — restructure \
+                     it into plain field writes or add an audited opaque-allowlist \
+                     entry",
+                    c.type_name
+                ),
+                vec![],
+            )),
+            (_, DecSide::Opaque(why)) => out.push(finding(
+                "W001",
+                &c.path,
+                c.dec_line,
+                format!(
+                    "`{}` decode is not structurally checkable ({why}) — restructure \
+                     it into a plain constructor or add an audited opaque-allowlist \
+                     entry",
+                    c.type_name
+                ),
+                vec![],
+            )),
+            (EncSide::Struct(ops), DecSide::Struct(fields)) => {
+                check_struct_codec(model, c, ops, fields, out);
+            }
+            (EncSide::Struct(ops), DecSide::Tuple(arity)) => {
+                if let Some(op) = ops.iter().find_map(opaque_op) {
+                    out.push(opaque_op_finding(c, op));
+                } else if ops.len() != *arity {
+                    out.push(finding(
+                        "W001",
+                        &c.path,
+                        c.dec_line,
+                        format!(
+                            "`{}` encodes {} field(s) but decodes {} positionally",
+                            c.type_name,
+                            ops.len(),
+                            arity
+                        ),
+                        seq_witness(&enc_names(ops), &vec!["_".to_string(); *arity]),
+                    ));
+                }
+            }
+            (EncSide::Enum { width, variants }, DecSide::Enum { width: dw, arms, rejects_unknown }) => {
+                check_enum_codec(
+                    model,
+                    c,
+                    *width,
+                    variants,
+                    *dw,
+                    arms,
+                    *rejects_unknown,
+                    out,
+                );
+            }
+            (EncSide::Enum { .. }, _) => out.push(finding(
+                "W001",
+                &c.path,
+                c.dec_line,
+                format!(
+                    "`{}` encode matches over enum variants but decode does not read \
+                     a discriminant",
+                    c.type_name
+                ),
+                vec![],
+            )),
+            (EncSide::Struct(_), DecSide::Enum { .. }) => out.push(finding(
+                "W001",
+                &c.path,
+                c.enc_line,
+                format!(
+                    "`{}` decode reads a discriminant but encode writes plain fields",
+                    c.type_name
+                ),
+                vec![],
+            )),
+        }
+    }
+}
+
+fn opaque_op(op: &EncOp) -> Option<&str> {
+    match op {
+        EncOp::Opaque(t) => Some(t),
+        _ => None,
+    }
+}
+
+fn opaque_op_finding(c: &CodecImpl, op: &str) -> Finding {
+    finding(
+        "W001",
+        &c.path,
+        c.enc_line,
+        format!(
+            "`{}` encode contains an unclassifiable write `{op}` — the field \
+             sequence cannot be mirrored against decode",
+            c.type_name
+        ),
+        vec![],
+    )
+}
+
+fn enc_names(ops: &[EncOp]) -> Vec<String> {
+    ops.iter()
+        .map(|op| match op {
+            EncOp::Tag { value, width } => format!("<tag {value}u{width}>"),
+            EncOp::Val(n) => n.clone(),
+            EncOp::Opaque(t) => format!("<? {t}>"),
+        })
+        .collect()
+}
+
+fn dec_names(fields: &[DecField]) -> Vec<String> {
+    fields
+        .iter()
+        .enumerate()
+        .map(|(i, f)| f.name.clone().unwrap_or_else(|| format!("#{i}")))
+        .collect()
+}
+
+/// The two ordered sequences plus the first divergence, for the
+/// witness block.
+fn seq_witness(enc: &[String], dec: &[String]) -> Vec<String> {
+    let mut w = vec![
+        format!("encode writes : [{}]", enc.join(", ")),
+        format!("decode reads  : [{}]", dec.join(", ")),
+    ];
+    for i in 0..enc.len().max(dec.len()) {
+        let (e, d) = (enc.get(i), dec.get(i));
+        if e != d {
+            let show = |x: Option<&String>| {
+                x.map_or("<nothing>".to_string(), |v| format!("`{v}`"))
+            };
+            w.push(format!(
+                "first divergence at position {i}: encode writes {}, decode reads {}",
+                show(e),
+                show(d)
+            ));
+            break;
+        }
+    }
+    w
+}
+
+fn check_struct_codec(
+    model: &ProtoModel,
+    c: &CodecImpl,
+    ops: &[EncOp],
+    fields: &[DecField],
+    out: &mut Vec<Finding>,
+) {
+    if let Some(op) = ops.iter().find_map(opaque_op) {
+        out.push(opaque_op_finding(c, op));
+        return;
+    }
+    let e = enc_names(ops);
+    let d = dec_names(fields);
+    if e != d {
+        out.push(finding(
+            "W001",
+            &c.path,
+            c.dec_line,
+            format!(
+                "`{}` encode/decode field sequences diverge — persisted records \
+                 decode positionally, so every replica reading an old record \
+                 mis-assigns fields",
+                c.type_name
+            ),
+            seq_witness(&e, &d),
+        ));
+        return;
+    }
+    // Field-type cross-check: an explicit primitive decode must match
+    // the declared field type (a u32/u64 width swap shifts every later
+    // field).
+    for f in fields {
+        let (Some(name), Some(ty)) = (&f.name, &f.ty) else { continue };
+        if let Some(declared) = model.flow.field_type(&c.type_name, name) {
+            if declared != ty {
+                out.push(finding(
+                    "W001",
+                    &c.path,
+                    c.dec_line,
+                    format!(
+                        "`{}` decodes field `{name}` as `{ty}` but the struct \
+                         declares `{declared}` — width/type mismatch shifts every \
+                         subsequent field",
+                        c.type_name
+                    ),
+                    vec![],
+                ));
+            }
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn check_enum_codec(
+    model: &ProtoModel,
+    c: &CodecImpl,
+    enc_width: Option<u8>,
+    variants: &[crate::model::VariantEnc],
+    dec_width: u8,
+    arms: &[crate::model::VariantDec],
+    rejects_unknown: bool,
+    out: &mut Vec<Finding>,
+) {
+    if let Some(w) = enc_width {
+        if w != dec_width {
+            out.push(finding(
+                "W001",
+                &c.path,
+                c.dec_line,
+                format!(
+                    "`{}` writes a u{w} discriminant but reads u{dec_width}",
+                    c.type_name
+                ),
+                vec![],
+            ));
+        }
+    }
+    if !rejects_unknown {
+        out.push(finding(
+            "W001",
+            &c.path,
+            c.dec_line,
+            format!(
+                "`{}` decode has no `_ => Err(..)` arm — an unknown discriminant \
+                 must be a decode error, never undefined behavior or a silent \
+                 default",
+                c.type_name
+            ),
+            vec![],
+        ));
+    }
+
+    // The shipping enum definition is the source of truth for the
+    // variant set; fall back to the union of both codec sides.
+    let declared: Vec<String> = match model.flow.enum_def(&c.type_name) {
+        Some(def) => def.variants.clone(),
+        None => {
+            let mut names: Vec<String> = variants.iter().map(|v| v.name.clone()).collect();
+            for a in arms {
+                if !names.contains(&a.name) {
+                    names.push(a.name.clone());
+                }
+            }
+            names
+        }
+    };
+
+    for name in &declared {
+        let ve = variants.iter().find(|v| &v.name == name);
+        let va = arms.iter().find(|a| &a.name == name);
+        match (ve, va) {
+            (None, _) => out.push(finding(
+                "W001",
+                &c.path,
+                c.enc_line,
+                format!("`{}::{name}` has no encode arm", c.type_name),
+                vec![],
+            )),
+            (_, None) => out.push(finding(
+                "W001",
+                &c.path,
+                c.dec_line,
+                format!("`{}::{name}` has no decode arm", c.type_name),
+                vec![],
+            )),
+            (Some(ve), Some(va)) => {
+                check_variant_pair(c, ve, va, dec_width, out);
+            }
+        }
+    }
+    for v in variants {
+        if !declared.contains(&v.name) {
+            out.push(finding(
+                "W001",
+                &c.path,
+                v.line,
+                format!(
+                    "encode arm for `{}::{}` matches no declared variant (stale \
+                     codec arm)",
+                    c.type_name, v.name
+                ),
+                vec![],
+            ));
+        }
+    }
+    for a in arms {
+        if !declared.contains(&a.name) {
+            out.push(finding(
+                "W001",
+                &c.path,
+                a.line,
+                format!(
+                    "decode arm for `{}::{}` matches no declared variant (stale \
+                     codec arm)",
+                    c.type_name, a.name
+                ),
+                vec![],
+            ));
+        }
+    }
+}
+
+fn check_variant_pair(
+    c: &CodecImpl,
+    ve: &crate::model::VariantEnc,
+    va: &crate::model::VariantDec,
+    dec_width: u8,
+    out: &mut Vec<Finding>,
+) {
+    let qual = format!("{}::{}", c.type_name, ve.name);
+    let Some(tag) = ve.tag else {
+        out.push(finding(
+            "W001",
+            &c.path,
+            ve.line,
+            format!(
+                "`{qual}` writes fields before (or without) its discriminant — the \
+                 tag must be the first bytes of every enum encoding"
+            ),
+            seq_witness(&enc_names(&ve.ops), &dec_names(&va.fields)),
+        ));
+        return;
+    };
+    if tag != va.tag {
+        out.push(finding(
+            "W001",
+            &c.path,
+            va.line,
+            format!("`{qual}` encodes tag {tag} but decodes tag {}", va.tag),
+            vec![],
+        ));
+    }
+    if let Some(w) = ve.tag_width {
+        if w != dec_width {
+            out.push(finding(
+                "W001",
+                &c.path,
+                va.line,
+                format!("`{qual}` writes a u{w} tag but the decode match reads u{dec_width}"),
+                vec![],
+            ));
+        }
+    }
+    if let Some(op) = ve.ops.iter().find_map(opaque_op) {
+        out.push(opaque_op_finding(c, op));
+        return;
+    }
+    let e = enc_names(&ve.ops);
+    if let Some(arity) = va.tuple_arity {
+        if ve.ops.len() != arity {
+            out.push(finding(
+                "W001",
+                &c.path,
+                va.line,
+                format!(
+                    "`{qual}` encodes {} value(s) but decodes {arity} positionally",
+                    ve.ops.len()
+                ),
+                seq_witness(&e, &vec!["_".to_string(); arity]),
+            ));
+        }
+        return;
+    }
+    let d = dec_names(&va.fields);
+    if e != d {
+        out.push(finding(
+            "W001",
+            &c.path,
+            va.line,
+            format!(
+                "`{qual}` encode/decode field sequences diverge — both sides must \
+                 read and write the same fields in the same order"
+            ),
+            seq_witness(&e, &d),
+        ));
+    }
+}
+
+// ----------------------------------------------------------------------
+// W002 — tag stability
+// ----------------------------------------------------------------------
+
+fn check_w002(
+    cfg: &ProtoConfig,
+    model: &ProtoModel,
+    lock: Option<&str>,
+    out: &mut Vec<Finding>,
+) {
+    // Uniqueness and density, straight from the source.
+    for c in checked_codecs(cfg, model) {
+        let EncSide::Enum { variants, .. } = &c.enc else { continue };
+        let mut by_tag: BTreeMap<u64, Vec<&str>> = BTreeMap::new();
+        for v in variants {
+            if let Some(t) = v.tag {
+                by_tag.entry(t).or_default().push(&v.name);
+            }
+        }
+        for (t, names) in &by_tag {
+            if names.len() > 1 {
+                out.push(finding(
+                    "W002",
+                    &c.path,
+                    c.enc_line,
+                    format!(
+                        "`{}` reuses discriminant {t} for variants {} — decode \
+                         cannot tell them apart",
+                        c.type_name,
+                        names.join(", ")
+                    ),
+                    vec![],
+                ));
+            }
+        }
+        let tags: Vec<u64> = by_tag.keys().copied().collect();
+        let dense: Vec<u64> = (0..tags.len() as u64).collect();
+        if !tags.is_empty() && tags != dense {
+            out.push(finding(
+                "W002",
+                &c.path,
+                c.enc_line,
+                format!(
+                    "`{}` discriminants are not dense: [{}] (expected 0..={}) — \
+                     holes invite accidental reuse by a future variant",
+                    c.type_name,
+                    tags.iter().map(u64::to_string).collect::<Vec<_>>().join(", "),
+                    tags.len().saturating_sub(1)
+                ),
+                vec![],
+            ));
+        }
+    }
+
+    // Drift against the committed manifest.
+    let current = Schema::from_model(cfg, model);
+    let pinned = match lock {
+        None => {
+            if !current.enums.is_empty() || !current.structs.is_empty() {
+                out.push(finding(
+                    "W002",
+                    "proto.lock",
+                    1,
+                    "no proto.lock committed — pin the wire schema with \
+                     `cargo run -p jrs-proto -- lock` and commit the manifest"
+                        .to_string(),
+                    vec![],
+                ));
+            }
+            return;
+        }
+        Some(text) => match Schema::parse(text) {
+            Ok(s) => s,
+            Err(e) => {
+                out.push(finding(
+                    "W002",
+                    "proto.lock",
+                    1,
+                    format!("proto.lock is unparseable: {e}"),
+                    vec![],
+                ));
+                return;
+            }
+        },
+    };
+    for (type_name, message) in Schema::diff(&pinned, &current) {
+        let (path, line) = model
+            .codec(&type_name)
+            .map(|c| (c.path.clone(), c.enc_line))
+            .unwrap_or_else(|| ("proto.lock".to_string(), 1));
+        out.push(finding("W002", &path, line, message, vec![]));
+    }
+}
+
+// ----------------------------------------------------------------------
+// W003 — send/handle matrix
+// ----------------------------------------------------------------------
+
+fn check_w003(cfg: &ProtoConfig, model: &ProtoModel, out: &mut Vec<Finding>) {
+    for m in &cfg.matrix {
+        let Some(def) = model.flow.enum_def(&m.name) else { continue };
+        for variant in &def.variants {
+            let uses: Vec<_> = model
+                .uses
+                .iter()
+                .filter(|u| u.enum_name == m.name && &u.variant == variant)
+                .collect();
+            let constructs: Vec<_> =
+                uses.iter().filter(|u| u.kind == UseKind::Construct).collect();
+            let handled_in_role = uses.iter().any(|u| {
+                u.kind == UseKind::Handle
+                    && m.handler_crates.iter().any(|c| c == &u.crate_key)
+            });
+            if constructs.is_empty() {
+                if !m.handler_crates.is_empty() {
+                    out.push(finding(
+                        "W003",
+                        &def.path,
+                        def.line,
+                        format!(
+                            "`{}::{variant}` is never constructed outside its codec \
+                             and tests — dead protocol surface (delete it, or the \
+                             send site is hidden from the scanner)",
+                            m.name
+                        ),
+                        vec![],
+                    ));
+                }
+                continue;
+            }
+            if !handled_in_role {
+                let mut witness: Vec<String> = constructs
+                    .iter()
+                    .take(5)
+                    .map(|u| format!("constructed in {} ({}:{})", u.in_fn, u.path, u.line))
+                    .collect();
+                let other_crates: BTreeSet<&str> = uses
+                    .iter()
+                    .filter(|u| u.kind == UseKind::Handle)
+                    .map(|u| u.crate_key.as_str())
+                    .collect();
+                if !other_crates.is_empty() {
+                    witness.push(format!(
+                        "handled only outside the receiving role: {}",
+                        other_crates.into_iter().collect::<Vec<_>>().join(", ")
+                    ));
+                }
+                let first = constructs[0];
+                out.push(finding(
+                    "W003",
+                    &first.path,
+                    first.line,
+                    format!(
+                        "`{}::{variant}` is constructed (sent) but no handler arm in \
+                         the receiving role [{}] matches it — the message would be \
+                         silently unhandled",
+                        m.name,
+                        m.handler_crates.join(", ")
+                    ),
+                    witness,
+                ));
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// W004 — decode-side bounds
+// ----------------------------------------------------------------------
+
+/// Lines that introduce an unchecked decoded length.
+const LEN_SOURCES: &[&str] = &["::decode(", "le_u32_at(", "le_u64_at("];
+
+fn check_w004(cfg: &ProtoConfig, model: &ProtoModel, out: &mut Vec<Finding>) {
+    for (facts, scan) in model.flow.files.iter().zip(&model.scans) {
+        for f in &facts.fns {
+            if f.is_test {
+                continue;
+            }
+            if cfg.sink_primitives.iter().any(|s| s == &f.qualified) {
+                continue;
+            }
+            let body: Vec<(usize, &str)> = (f.line..=f.end_line)
+                .filter_map(|n| scan.lines.get(n - 1).map(|l| (n, l.as_str())))
+                .collect();
+            if cfg.len_helpers.iter().any(|h| h == &f.name) {
+                check_len_helper(cfg, &scan.path, f, &body, out);
+                continue;
+            }
+            check_fn_sinks(cfg, &scan.path, &body, out);
+        }
+    }
+}
+
+/// A registered limit helper must enforce an explicit maximum and a
+/// remaining-bytes bound itself — it is the single place corrupt
+/// lengths are supposed to die.
+fn check_len_helper(
+    cfg: &ProtoConfig,
+    path: &str,
+    f: &jrs_flow::model::FnDef,
+    body: &[(usize, &str)],
+    out: &mut Vec<Finding>,
+) {
+    let text: String = body.iter().map(|(_, l)| *l).collect::<Vec<_>>().join("\n");
+    let has_limit = cfg.limit_tokens.iter().any(|t| text.contains(t.as_str()));
+    let has_remaining = text.contains("remaining()");
+    if !has_limit || !has_remaining {
+        out.push(finding(
+            "W004",
+            path,
+            f.line,
+            format!(
+                "length helper `{}` must enforce an explicit maximum (a `{}` \
+                 const) and a remaining-bytes bound before returning — it is the \
+                 checked gate every decoded length flows through",
+                f.name,
+                cfg.limit_tokens.join("/"),
+            ),
+            vec![],
+        ));
+    }
+}
+
+fn check_fn_sinks(
+    cfg: &ProtoConfig,
+    path: &str,
+    body: &[(usize, &str)],
+    out: &mut Vec<Finding>,
+) {
+    // Single-assignment taint: names bound (directly or transitively)
+    // to a decoded length that never passed a checked helper.
+    let mut unchecked: BTreeSet<String> = BTreeSet::new();
+    for (_, l) in body {
+        let Some((name, rhs)) = parse_let(l) else { continue };
+        let via_helper = cfg.len_helpers.iter().any(|h| rhs.contains(&format!("{h}(")));
+        if via_helper {
+            unchecked.remove(&name);
+            continue;
+        }
+        let from_source = LEN_SOURCES.iter().any(|s| rhs.contains(s));
+        let from_taint = unchecked.iter().any(|v| contains_token(rhs, v));
+        if from_source || from_taint {
+            unchecked.insert(name);
+        } else {
+            unchecked.remove(&name);
+        }
+    }
+
+    for (n, l) in body {
+        for (pat, render) in
+            [("with_capacity(", "with_capacity"), (".take(", "take")]
+        {
+            let mut start = 0;
+            while let Some(rel) = l[start..].find(pat) {
+                let pos = start + rel;
+                let arg_start = pos + pat.len();
+                start = arg_start;
+                let Some(arg) = paren_arg(&l[arg_start - 1..]) else { continue };
+                check_sink_arg(cfg, path, *n, render, &arg, &unchecked, out);
+            }
+        }
+        if let Some(pos) = l.find("vec![") {
+            if let Some(body_txt) = bracket_arg(&l[pos + 4..]) {
+                if let Some((_, len)) = body_txt.rsplit_once(';') {
+                    check_sink_arg(cfg, path, *n, "vec![..; len]", len.trim(), &unchecked, out);
+                }
+            }
+        }
+    }
+}
+
+/// `let [mut] name[: T] = rhs;` -> `(name, rhs)`.
+fn parse_let(l: &str) -> Option<(String, &str)> {
+    let t = l.trim_start();
+    let rest = t.strip_prefix("let ")?;
+    let rest = rest.strip_prefix("mut ").unwrap_or(rest);
+    let eq = rest.find('=')?;
+    let name_part = &rest[..eq];
+    let name = name_part.split(':').next()?.trim();
+    if name.is_empty() || !name.chars().all(|c| c.is_alphanumeric() || c == '_') {
+        return None;
+    }
+    Some((name.to_string(), &rest[eq + 1..]))
+}
+
+fn contains_token(hay: &str, token: &str) -> bool {
+    let mut start = 0;
+    while let Some(rel) = hay[start..].find(token) {
+        let pos = start + rel;
+        start = pos + token.len();
+        let before_ok = pos == 0
+            || !hay[..pos]
+                .chars()
+                .next_back()
+                .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        let after_ok = !hay[pos + token.len()..]
+            .chars()
+            .next()
+            .is_some_and(|c| c.is_alphanumeric() || c == '_');
+        if before_ok && after_ok {
+            return true;
+        }
+    }
+    false
+}
+
+/// Contents of the `( .. )` region `s` starts with.
+fn paren_arg(s: &str) -> Option<String> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '(' => depth += 1,
+            ')' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(s[1..i].trim().to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Contents of the `[ .. ]` region `s` starts with.
+fn bracket_arg(s: &str) -> Option<String> {
+    let mut depth = 0i32;
+    for (i, c) in s.char_indices() {
+        match c {
+            '[' => depth += 1,
+            ']' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(s[1..i].to_string());
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+fn check_sink_arg(
+    cfg: &ProtoConfig,
+    path: &str,
+    line: usize,
+    sink: &str,
+    arg: &str,
+    unchecked: &BTreeSet<String>,
+    out: &mut Vec<Finding>,
+) {
+    let via_helper = cfg.len_helpers.iter().any(|h| arg.contains(&format!("{h}(")));
+    if via_helper {
+        return;
+    }
+    let inline_source = LEN_SOURCES.iter().any(|s| arg.contains(s));
+    let tainted_var =
+        arg.chars().all(|c| c.is_alphanumeric() || c == '_') && unchecked.contains(arg);
+    if inline_source || tainted_var {
+        out.push(finding(
+            "W004",
+            path,
+            line,
+            format!(
+                "allocation sink `{sink}` is sized by decoded length `{arg}` that \
+                 never passed a checked limit helper ({}) — a corrupt record \
+                 controls the allocation size",
+                cfg.len_helpers.join(", ")
+            ),
+            vec![],
+        ));
+    }
+}
+
+// ----------------------------------------------------------------------
+// WSUP — suppression and registry staleness audit
+// ----------------------------------------------------------------------
+
+fn check_wsup(
+    cfg: &ProtoConfig,
+    model: &ProtoModel,
+    used: &BTreeSet<(String, usize)>,
+    out: &mut Vec<Finding>,
+) {
+    for scan in &model.scans {
+        for p in &scan.pragmas {
+            let unknown: Vec<&str> = p
+                .rules
+                .iter()
+                .map(String::as_str)
+                .filter(|r| !RULE_CODES.contains(r))
+                .collect();
+            if !unknown.is_empty() {
+                out.push(finding(
+                    "WSUP",
+                    &scan.path,
+                    p.line,
+                    format!(
+                        "proto suppression names unknown rule{} {}",
+                        if unknown.len() > 1 { "s" } else { "" },
+                        unknown.join(", ")
+                    ),
+                    vec![],
+                ));
+                continue;
+            }
+            if p.reason.is_empty() {
+                out.push(finding(
+                    "WSUP",
+                    &scan.path,
+                    p.line,
+                    "proto suppression without a reason — write \
+                     `// proto: allow(RULE): <why this is safe>`"
+                        .to_string(),
+                    vec![],
+                ));
+                continue;
+            }
+            if !used.contains(&(scan.path.clone(), p.line)) {
+                out.push(finding(
+                    "WSUP",
+                    &scan.path,
+                    p.line,
+                    "proto suppression suppresses nothing — remove it".to_string(),
+                    vec![],
+                ));
+            }
+        }
+    }
+    // Opaque-allowlist entries must be load-bearing.
+    for (type_name, _) in &cfg.opaque_allow {
+        match model.codec(type_name) {
+            None => out.push(finding(
+                "WSUP",
+                "crates/proto/src/rules.rs",
+                1,
+                format!(
+                    "opaque-codec allowlist entry `{type_name}` names no codec in \
+                     the workspace — remove it"
+                ),
+                vec![],
+            )),
+            Some(c) => {
+                let enc_opaque = matches!(c.enc, EncSide::Opaque(_));
+                let dec_opaque = matches!(c.dec, DecSide::Opaque(_));
+                if !enc_opaque && !dec_opaque {
+                    out.push(finding(
+                        "WSUP",
+                        &c.path,
+                        c.enc_line,
+                        format!(
+                            "opaque-codec allowlist entry `{type_name}` is stale: \
+                             the codec is structurally checkable — remove the entry"
+                        ),
+                        vec![],
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg_with_matrix(enums: &[(&str, &[&str])]) -> ProtoConfig {
+        let mut cfg = ProtoConfig::workspace();
+        cfg.matrix = enums
+            .iter()
+            .map(|(name, crates)| MatrixEnum {
+                name: name.to_string(),
+                handler_crates: crates.iter().map(|c| c.to_string()).collect(),
+                why: "fixture".into(),
+            })
+            .collect();
+        cfg.opaque_allow.clear();
+        cfg
+    }
+
+    const GOOD_ENUM: &str = "\
+pub enum Msg {
+    Ping { seq: u64 },
+    Bye,
+}
+impl Codec for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Ping { seq } => {
+                0u8.encode(out);
+                seq.encode(out);
+            }
+            Msg::Bye => {
+                1u8.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Msg::Ping { seq: u64::decode(r)? }),
+            1 => Ok(Msg::Bye),
+            _ => Err(DecodeError::Invalid(\"Msg tag\")),
+        }
+    }
+}
+fn send() -> Msg { Msg::Ping { seq: 1 } }
+fn send2() -> Msg { Msg::Bye }
+fn handle(m: &Msg) {
+    match m {
+        Msg::Ping { seq } => helper(*seq),
+        Msg::Bye => {}
+    }
+}
+";
+
+    #[test]
+    fn w001_good_tree_is_clean() {
+        let cfg = cfg_with_matrix(&[("Msg", &["core"])]);
+        let lock = "enum Msg {\n  Ping = 0\n  Bye = 1\n}\n";
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", GOOD_ENUM)], Some(lock));
+        assert!(r.clean(), "expected clean, got:\n{:?}", r.findings);
+    }
+
+    #[test]
+    fn w001_field_order_divergence_has_diff_witness() {
+        let src = "\
+pub struct Grant { pub mom: u32, pub session: u64 }
+impl Codec for Grant {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.mom.encode(out);
+        self.session.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Grant {
+            session: u64::decode(r)?,
+            mom: u32::decode(r)?,
+        })
+    }
+}
+";
+        let cfg = cfg_with_matrix(&[]);
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", src)], None);
+        let f = r
+            .findings
+            .iter()
+            .find(|f| f.rule == "W001")
+            .expect("W001 finding");
+        assert!(f.message.contains("field sequences diverge"), "{}", f.message);
+        assert!(
+            f.witness.iter().any(|w| w.contains("[mom, session]")),
+            "{:?}",
+            f.witness
+        );
+        assert!(
+            f.witness.iter().any(|w| w.contains("[session, mom]")),
+            "{:?}",
+            f.witness
+        );
+        assert!(
+            f.witness
+                .iter()
+                .any(|w| w.contains("position 0") && w.contains("`mom`") && w.contains("`session`")),
+            "{:?}",
+            f.witness
+        );
+    }
+
+    #[test]
+    fn w001_missing_tag_and_missing_reject_flagged() {
+        let src = "\
+pub enum Msg {
+    Ping { seq: u64 },
+}
+impl Codec for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::Ping { seq } => {
+                seq.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Msg::Ping { seq: u64::decode(r)? }),
+        }
+    }
+}
+";
+        let cfg = cfg_with_matrix(&[]);
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", src)], None);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "W001" && f.message.contains("before (or without) its discriminant")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "W001" && f.message.contains("no `_ => Err(..)` arm")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn w001_type_mismatch_flagged() {
+        let src = "\
+pub struct Rec { pub idx: u64 }
+impl Codec for Rec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.idx.encode(out);
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Rec { idx: u32::decode(r)? })
+    }
+}
+";
+        let cfg = cfg_with_matrix(&[]);
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", src)], None);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "W001"
+                && f.message.contains("decodes field `idx` as `u32`")
+                && f.message.contains("declares `u64`")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn w002_tag_drift_against_lock_fails() {
+        let cfg = cfg_with_matrix(&[("Msg", &["core"])]);
+        // The committed lock pins Bye = 2: the source (Bye = 1) drifted.
+        let lock = "enum Msg {\n  Ping = 0\n  Bye = 2\n}\n";
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", GOOD_ENUM)], Some(lock));
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "W002" && f.message.contains("tag changed 2 -> 1")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn w002_missing_lock_and_duplicate_tags() {
+        let src = "\
+pub enum Msg {
+    A,
+    B,
+}
+impl Codec for Msg {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Msg::A => {
+                0u8.encode(out);
+            }
+            Msg::B => {
+                0u8.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        match u8::decode(r)? {
+            0 => Ok(Msg::A),
+            1 => Ok(Msg::B),
+            _ => Err(DecodeError::Invalid(\"Msg tag\")),
+        }
+    }
+}
+";
+        let cfg = cfg_with_matrix(&[]);
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", src)], None);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "W002" && f.message.contains("reuses discriminant 0")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "W002" && f.message.contains("no proto.lock committed")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn w003_unhandled_and_dead_variants() {
+        let src = "\
+pub enum Msg {
+    Used { x: u32 },
+    Unhandled { y: u32 },
+    Dead { z: u32 },
+}
+fn send_used() -> Msg { Msg::Used { x: 1 } }
+fn send_unhandled() -> Msg { Msg::Unhandled { y: 2 } }
+fn handle(m: &Msg) -> u32 {
+    match m {
+        Msg::Used { x } => *x,
+        _ => 0,
+    }
+}
+";
+        let cfg = cfg_with_matrix(&[("Msg", &["core"])]);
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", src)], None);
+        assert!(
+            r.findings.iter().any(|f| f.rule == "W003"
+                && f.message.contains("`Msg::Unhandled` is constructed (sent)")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "W003" && f.message.contains("`Msg::Dead` is never constructed")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            !r.findings
+                .iter()
+                .any(|f| f.rule == "W003" && f.message.contains("`Msg::Used`")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn w004_unchecked_allocation_flagged_checked_helper_ok() {
+        let bad = "\
+fn replay(r: &mut Reader<'_>) -> Result<Vec<u8>, DecodeError> {
+    let len = u32::decode(r)? as usize;
+    let out = Vec::with_capacity(len);
+    Ok(out)
+}
+";
+        let cfg = cfg_with_matrix(&[]);
+        let r = crate::check_files(&cfg, &[("crates/store/src/a.rs", bad)], None);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "W004" && f.message.contains("`with_capacity`")),
+            "{:?}",
+            r.findings
+        );
+
+        let good = "\
+fn replay(r: &mut Reader<'_>) -> Result<Vec<u8>, DecodeError> {
+    let len = decode_len(r)?;
+    let out = Vec::with_capacity(len);
+    Ok(out)
+}
+";
+        let r = crate::check_files(&cfg, &[("crates/store/src/a.rs", good)], None);
+        assert!(
+            !r.findings.iter().any(|f| f.rule == "W004"),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn w004_helper_without_limit_flagged() {
+        let src = "\
+fn decode_len(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
+    let len = u32::decode(r)?;
+    Ok(len as usize)
+}
+";
+        let cfg = cfg_with_matrix(&[]);
+        let r = crate::check_files(&cfg, &[("crates/store/src/a.rs", src)], None);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "W004" && f.message.contains("length helper `decode_len`")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn wsup_stale_and_unknown_pragmas() {
+        let src = "\
+// proto: allow(W001): nothing here violates W001
+fn quiet() {}
+// proto: allow(W999): no such rule
+fn quiet2() {}
+";
+        let cfg = cfg_with_matrix(&[]);
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", src)], None);
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "WSUP" && f.message.contains("suppresses nothing")),
+            "{:?}",
+            r.findings
+        );
+        assert!(
+            r.findings
+                .iter()
+                .any(|f| f.rule == "WSUP" && f.message.contains("unknown rule")),
+            "{:?}",
+            r.findings
+        );
+    }
+
+    #[test]
+    fn pragma_waives_and_is_counted_used() {
+        let src = "\
+pub struct Rec { pub idx: u64 }
+impl Codec for Rec {
+    fn encode(&self, out: &mut Vec<u8>) {
+        self.idx.encode(out);
+    }
+    // proto: allow(W001): fixture — intentional narrowing pinned by tests
+    fn decode(r: &mut Reader<'_>) -> Result<Self, DecodeError> {
+        Ok(Rec { idx: u32::decode(r)? })
+    }
+}
+";
+        let cfg = cfg_with_matrix(&[]);
+        let r = crate::check_files(&cfg, &[("crates/core/src/a.rs", src)], None);
+        assert!(
+            !r.findings.iter().any(|f| f.rule == "W001" || f.rule == "WSUP"),
+            "{:?}",
+            r.findings
+        );
+    }
+}

@@ -149,13 +149,23 @@ impl Codec for char {
     }
 }
 
+/// Hard ceiling on any length prefix in a durable record. No legitimate
+/// container in a WAL record or snapshot approaches this; it bounds the
+/// allocation a corrupt (but CRC-colliding) length can request even when
+/// the record buffer itself is large.
+pub const MAX_LEN: usize = 1 << 24;
+
 fn encode_len(len: usize, out: &mut Vec<u8>) {
+    assert!(len <= MAX_LEN, "container too large for WAL record");
     u32::try_from(len).expect("container too large for WAL record").encode(out);
 }
 
 fn decode_len(r: &mut Reader<'_>) -> Result<usize, DecodeError> {
     let len = u32::decode(r)?;
     let len = usize::try_from(len).map_err(|_| DecodeError::Invalid("length"))?;
+    if len > MAX_LEN {
+        return Err(DecodeError::Invalid("length exceeds MAX_LEN"));
+    }
     // A length can never exceed the bytes left (items are ≥1 byte each);
     // reject early so corrupt lengths can't trigger huge allocations.
     if len > r.remaining() {
@@ -352,8 +362,15 @@ mod tests {
 
     #[test]
     fn corrupt_length_cannot_allocate() {
-        // A vector claiming u32::MAX items with 0 bytes behind it.
+        // A vector claiming u32::MAX items dies on the explicit ceiling
+        // before any allocation, regardless of how many bytes follow.
         let bytes = u32::MAX.to_bytes();
+        assert_eq!(
+            Vec::<u64>::from_bytes(&bytes),
+            Err(DecodeError::Invalid("length exceeds MAX_LEN"))
+        );
+        // A length under the ceiling but past the record end is Eof.
+        let bytes = 1024u32.to_bytes();
         assert_eq!(Vec::<u64>::from_bytes(&bytes), Err(DecodeError::Eof));
     }
 

@@ -1,0 +1,42 @@
+//! Workspace wire-protocol conformance gate.
+//!
+//! `cargo test` must fail if any codec's encode/decode symmetry, the
+//! pinned discriminant tables in `proto.lock`, the send/handle matrix,
+//! or the decode-side bounds discipline regress anywhere in the
+//! workspace (see `crates/proto` and DESIGN.md §11). The same check
+//! runs in CI as `cargo run -p jrs-proto -- check`; this test wires it
+//! into the ordinary test loop so schema drift never gets as far as a
+//! pull request.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_proto_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let cfg = jrs_proto::ProtoConfig::workspace();
+    let report = jrs_proto::check_workspace(&cfg, root).expect("workspace scan must succeed");
+    assert!(
+        report.files_scanned > 20,
+        "suspiciously few files scanned ({}) — walker broken?",
+        report.files_scanned
+    );
+    assert!(
+        report.codecs > 15 && report.use_sites > 50,
+        "suspiciously small protocol model ({} codecs, {} use sites) — \
+         extractor broken?",
+        report.codecs,
+        report.use_sites
+    );
+    if !report.clean() {
+        let mut msg = format!(
+            "jrs-proto found {} finding(s) — fix them, regenerate proto.lock \
+             after a reviewed schema change, or add a justified \
+             `// proto: allow(RULE): reason` pragma:\n",
+            report.findings.len()
+        );
+        for f in &report.findings {
+            msg.push_str(&format!("{f}\n"));
+        }
+        panic!("{msg}");
+    }
+}
